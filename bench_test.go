@@ -1,0 +1,241 @@
+// Package pccbench holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (§4). Each benchmark runs its
+// experiment at a reduced scale (benchScale) and reports the headline
+// quantity the paper reports as a custom benchmark metric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints both the cost of regenerating each result and the result itself.
+// Full-scale runs: cmd/pccbench -exp <id> -scale 1.
+package pccbench
+
+import (
+	"strconv"
+	"testing"
+
+	"pcc/internal/exp"
+)
+
+// benchScale keeps the whole bench suite tractable; shapes are preserved.
+const benchScale = 0.1
+
+const benchSeed = 42
+
+// reportRatio extracts a float from a report cell, tolerating "-".
+func cell(rep *exp.Report, row, col int) float64 {
+	if row >= len(rep.Rows) || col >= len(rep.Rows[row]) {
+		return 0
+	}
+	v, err := strconv.ParseFloat(rep.Rows[row][col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// findRow returns the first row whose first cell equals key.
+func findRow(rep *exp.Report, key string) int {
+	for i, r := range rep.Rows {
+		if len(r) > 0 && r[0] == key {
+			return i
+		}
+	}
+	return -1
+}
+
+func BenchmarkFig05Internet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig5(benchScale, benchSeed)
+		if r := findRow(rep, "cubic"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 2), "median_ratio_vs_cubic")
+		}
+	}
+}
+
+func BenchmarkTable1InterDC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunTable1(benchScale, benchSeed)
+		// Average PCC throughput over the nine pairs.
+		var sum float64
+		for r := range rep.Rows {
+			sum += cell(rep, r, 2)
+		}
+		b.ReportMetric(sum/float64(len(rep.Rows)), "pcc_avg_Mbps")
+	}
+}
+
+func BenchmarkFig06Satellite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig6(benchScale, benchSeed)
+		last := len(rep.Rows) - 1
+		pcc, hybla := cell(rep, last, 1), cell(rep, last, 2)
+		if hybla > 0 {
+			b.ReportMetric(pcc/hybla, "pcc_over_hybla_1MB")
+		}
+	}
+}
+
+func BenchmarkFig07Loss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig7(benchScale, benchSeed)
+		if r := findRow(rep, "0.010"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 1), "pcc_Mbps_at_1pct")
+			if c := cell(rep, r, 3); c > 0 {
+				b.ReportMetric(cell(rep, r, 1)/c, "pcc_over_cubic_at_1pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFig08RTTFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig8(benchScale, benchSeed)
+		if r := findRow(rep, "100.0"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 1), "pcc_ratio_at_100ms")
+		}
+	}
+}
+
+func BenchmarkFig09Buffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig9(benchScale, benchSeed)
+		if r := findRow(rep, "9.0"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 1), "pcc_Mbps_at_6MSS")
+		}
+	}
+}
+
+func BenchmarkFig10Incast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig10(benchScale, benchSeed)
+		// Mean PCC/TCP ratio across rows with >= 10 senders.
+		var sum float64
+		var n int
+		for r := range rep.Rows {
+			if cell(rep, r, 0) >= 10 {
+				sum += cell(rep, r, 4)
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), "pcc_over_tcp")
+		}
+	}
+}
+
+func BenchmarkFig11Dynamic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, _ := exp.RunFig11(benchScale, benchSeed)
+		if r := findRow(rep, "pcc"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 2), "pcc_frac_of_optimal")
+		}
+	}
+}
+
+func BenchmarkFig12Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig12(benchScale, benchSeed)
+		// Mean stddev of the PCC rows (column 3).
+		var sum float64
+		var n int
+		for r := range rep.Rows {
+			if rep.Rows[r][0] == "pcc" {
+				sum += cell(rep, r, 3)
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), "pcc_mean_stddev_Mbps")
+		}
+	}
+}
+
+func BenchmarkFig13Fairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig13(benchScale, benchSeed)
+		if r := findRow(rep, "pcc"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 2), "pcc_jain_1s")
+		}
+	}
+}
+
+func BenchmarkFig14Friendliness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig14(benchScale, benchSeed)
+		if len(rep.Rows) > 0 {
+			b.ReportMetric(cell(rep, 0, 1), "unfriendliness_1_selfish")
+		}
+	}
+}
+
+func BenchmarkFig15FCT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig15(benchScale, benchSeed)
+		// Median FCT at the highest load for both protocols.
+		var pccMed, tcpMed float64
+		for r := range rep.Rows {
+			if rep.Rows[r][0] == "0.75" {
+				switch rep.Rows[r][1] {
+				case "pcc":
+					pccMed = cell(rep, r, 3)
+				case "newreno":
+					tcpMed = cell(rep, r, 3)
+				}
+			}
+		}
+		if tcpMed > 0 {
+			b.ReportMetric(pccMed/tcpMed, "fct_median_ratio_75load")
+		}
+	}
+}
+
+func BenchmarkFig16Tradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig16(benchScale, benchSeed)
+		if r := findRow(rep, "pcc Tm=1.0RTT eps=0.01"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 2), "pcc_stddev_Mbps")
+		}
+	}
+}
+
+func BenchmarkFig17Power(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunFig17(benchScale, benchSeed)
+		pcc := findRow(rep, "PCC+Bufferbloat+FQ")
+		tcp := findRow(rep, "TCP+Bufferbloat+FQ")
+		if pcc >= 0 && tcp >= 0 && cell(rep, tcp, 3) > 0 {
+			b.ReportMetric(cell(rep, pcc, 3)/cell(rep, tcp, 3), "pcc_over_tcp_bloat_power")
+		}
+	}
+}
+
+func BenchmarkLossResilient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunLossResilient(benchScale, benchSeed)
+		if r := findRow(rep, "0.50"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 4), "frac_of_achievable_50pct")
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunAblation(benchScale, benchSeed)
+		if r := findRow(rep, "default (1% loss)"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 1), "default_1pct_Mbps")
+		}
+	}
+}
+
+func BenchmarkTheoryConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunTheory(benchScale, benchSeed)
+		ok := 0.0
+		for r := range rep.Rows {
+			if rep.Rows[r][6] == "true" {
+				ok++
+			}
+		}
+		b.ReportMetric(ok/float64(len(rep.Rows)), "converged_frac")
+	}
+}

@@ -1,0 +1,56 @@
+// Command pccbench regenerates any table or figure from the paper's
+// evaluation (§4) as a text table.
+//
+// Usage:
+//
+//	pccbench -exp fig7            # one experiment at default scale
+//	pccbench -exp all -scale 1.0  # every experiment at paper-duration scale
+//	pccbench -list
+//
+// Scale shortens experiment durations/trial counts proportionally (default
+// 0.2); shapes are preserved, absolute convergence detail improves with
+// scale. Seeds make every run reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pcc/internal/exp"
+)
+
+func main() {
+	id := flag.String("exp", "", "experiment id (figN, table1, loss50, theory) or 'all'")
+	scale := flag.Float64("scale", 0.2, "duration/trial scale in (0,1]; 1.0 = paper durations")
+	seed := flag.Int64("seed", 42, "root RNG seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.IDs() {
+			fmt.Println(" ", e)
+		}
+		if *id == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*id}
+	if *id == "all" {
+		ids = exp.IDs()
+	}
+	for _, e := range ids {
+		start := time.Now()
+		rep, err := exp.Run(e, *scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e, time.Since(start).Seconds())
+	}
+}

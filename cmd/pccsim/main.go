@@ -1,0 +1,137 @@
+// Command pccsim runs an ad-hoc dumbbell simulation: pick a path, a set of
+// flows, and get per-flow goodput plus an optional rate time series. It is
+// the free-form companion to pccbench's fixed paper experiments.
+//
+// Usage examples:
+//
+//	pccsim -rate 100 -rtt 30ms -buf 375000 -flows pcc,cubic -dur 60
+//	pccsim -rate 42 -rtt 800ms -loss 0.0074 -flows pcc,hybla -dur 100
+//	pccsim -rate 40 -rtt 20ms -queue fqcodel -flows pcc:latency,pcc:latency -series
+//
+// Flow syntax: PROTO[:UTILITY][@START], e.g. "pcc:latency@5" starts a
+// latency-utility PCC flow at t=5s. Utilities: safe (default), latency,
+// resilient, vivace. Protocols: pcc, sabul, pcp, pacing, newreno, cubic,
+// illinois, hybla, vegas, bic, westwood.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pcc/internal/core"
+	"pcc/internal/exp"
+)
+
+func main() {
+	rate := flag.Float64("rate", 100, "bottleneck rate, Mbps")
+	rtt := flag.Duration("rtt", 30*time.Millisecond, "path RTT")
+	loss := flag.Float64("loss", 0, "forward Bernoulli loss probability")
+	buf := flag.Int("buf", 375000, "bottleneck buffer, bytes")
+	queue := flag.String("queue", "droptail", "queue kind: droptail, codel, fq, fqcodel")
+	flows := flag.String("flows", "pcc", "comma-separated flow specs (see doc comment)")
+	dur := flag.Float64("dur", 60, "simulated duration, seconds")
+	seed := flag.Int64("seed", 42, "root RNG seed")
+	series := flag.Bool("series", false, "print 1 Hz per-flow goodput series")
+	flag.Parse()
+
+	r := exp.NewRunner(exp.PathSpec{
+		RateMbps:  *rate,
+		RTT:       rtt.Seconds(),
+		Loss:      *loss,
+		BufBytes:  *buf,
+		QueueKind: *queue,
+		Seed:      *seed,
+	})
+
+	var handles []*exp.Flow
+	var labels []string
+	for _, spec := range strings.Split(*flows, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		fs, label, err := parseFlow(spec, rtt.Seconds())
+		if err != nil {
+			log.Fatalf("pccsim: %v", err)
+		}
+		fs.Bucket = 1
+		handles = append(handles, r.AddFlow(fs))
+		labels = append(labels, label)
+	}
+	if len(handles) == 0 {
+		log.Fatal("pccsim: no flows given")
+	}
+
+	r.Run(*dur)
+
+	fmt.Printf("path: %.0f Mbps, %v RTT, loss %.4f, buffer %d B, %s queue, %gs\n",
+		*rate, *rtt, *loss, *buf, *queue, *dur)
+	for i, f := range handles {
+		mean := f.GoodputMbps(*dur)
+		rttMs := 0.0
+		if f.RS != nil {
+			rttMs = f.RS.MeanRTT() * 1e3
+		} else if f.WS != nil {
+			rttMs = f.WS.MeanRTT() * 1e3
+		}
+		fmt.Printf("flow %d %-16s goodput %8.2f Mbps   mean RTT %7.2f ms\n", i, labels[i], mean, rttMs)
+	}
+
+	if *series {
+		fmt.Println("\nt(s)  " + strings.Join(labels, "  "))
+		n := int(*dur)
+		for s := 0; s < n; s++ {
+			row := fmt.Sprintf("%4d", s)
+			for _, f := range handles {
+				sr := f.SeriesMbps()
+				v := 0.0
+				if s < len(sr) {
+					v = sr[s]
+				}
+				row += fmt.Sprintf("  %8.2f", v)
+			}
+			fmt.Println(row)
+		}
+	}
+	_ = os.Stdout
+}
+
+// parseFlow decodes PROTO[:UTILITY][@START].
+func parseFlow(spec string, rtt float64) (exp.FlowSpec, string, error) {
+	label := spec
+	start := 0.0
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		v, err := strconv.ParseFloat(spec[at+1:], 64)
+		if err != nil {
+			return exp.FlowSpec{}, "", fmt.Errorf("bad start time in %q: %v", spec, err)
+		}
+		start = v
+		spec = spec[:at]
+	}
+	proto, utility := spec, ""
+	if c := strings.Index(spec, ":"); c >= 0 {
+		proto, utility = spec[:c], spec[c+1:]
+	}
+	fs := exp.FlowSpec{Proto: proto, StartAt: start}
+	switch utility {
+	case "", "safe":
+	case "latency":
+		cfg := core.InteractiveConfig(rtt)
+		fs.PCCConfig = &cfg
+	case "resilient":
+		cfg := core.HeavyLossConfig(rtt)
+		fs.PCCConfig = &cfg
+	case "vivace":
+		cfg := core.DefaultConfig(rtt)
+		cfg.Utility = core.NewVivaceUtility()
+		fs.PCCConfig = &cfg
+	default:
+		return exp.FlowSpec{}, "", fmt.Errorf("unknown utility %q", utility)
+	}
+	return fs, label, nil
+}

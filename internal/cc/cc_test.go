@@ -1,0 +1,243 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pcc/internal/netem"
+	"pcc/internal/sim"
+)
+
+func TestRTTEstimatorFirstSample(t *testing.T) {
+	e := NewRTTEstimator()
+	if e.HasSample() {
+		t.Fatal("fresh estimator claims samples")
+	}
+	if e.RTO() != 1.0 {
+		t.Fatalf("default RTO = %v, want 1.0", e.RTO())
+	}
+	e.Sample(0.1)
+	if e.SRTT != 0.1 || e.RTTVar != 0.05 || e.MinRTT != 0.1 {
+		t.Fatalf("first sample: srtt=%v var=%v min=%v", e.SRTT, e.RTTVar, e.MinRTT)
+	}
+}
+
+func TestRTTEstimatorConvergesToConstant(t *testing.T) {
+	e := NewRTTEstimator()
+	for i := 0; i < 100; i++ {
+		e.Sample(0.05)
+	}
+	if math.Abs(e.SRTT-0.05) > 1e-6 {
+		t.Fatalf("srtt = %v, want 0.05", e.SRTT)
+	}
+	if e.RTO() != MinRTO {
+		t.Fatalf("RTO = %v, want floor %v", e.RTO(), MinRTO)
+	}
+}
+
+func TestRTTEstimatorIgnoresNonPositive(t *testing.T) {
+	e := NewRTTEstimator()
+	e.Sample(-1)
+	e.Sample(0)
+	if e.HasSample() {
+		t.Fatal("non-positive samples must be ignored")
+	}
+}
+
+// Property: MinRTT is always <= every sample fed in.
+func TestRTTEstimatorMinProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		e := NewRTTEstimator()
+		min := math.Inf(1)
+		for _, s := range samples {
+			v := float64(s+1) / 1000
+			e.Sample(v)
+			if v < min {
+				min = v
+			}
+		}
+		return len(samples) == 0 || e.MinRTT == min
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// loopback wires a sender and receiver through a perfect instant path.
+type loopEnv struct {
+	eng  *sim.Engine
+	recv *Receiver
+}
+
+// fixedWindow is a test algorithm holding a constant window.
+type fixedWindow struct{ w float64 }
+
+func (f *fixedWindow) Name() string                            { return "fixed" }
+func (f *fixedWindow) OnAck(now, rtt float64, e *RTTEstimator) {}
+func (f *fixedWindow) OnDupAck()                               {}
+func (f *fixedWindow) OnLossEvent(now float64)                 {}
+func (f *fixedWindow) OnTimeout(now float64)                   {}
+func (f *fixedWindow) Cwnd() float64                           { return f.w }
+
+func buildPath(eng *sim.Engine, seed int64, rateMbps, rtt, loss float64, buf int) (*netem.Dumbbell, *sim.Seeds) {
+	seeds := sim.NewSeeds(seed)
+	d := netem.NewDumbbell(eng, netem.NewDropTail(buf), netem.Mbps(rateMbps), loss, seeds)
+	return d, seeds
+}
+
+func TestWindowSenderDeliversFiniteFlow(t *testing.T) {
+	eng := sim.NewEngine()
+	d, seeds := buildPath(eng, 1, 100, 0.030, 0, 375*netem.KB)
+	recv := NewReceiver(eng, 0)
+	recv.SendAck = d.SendAck
+	ws := NewWindowSender(eng, 0, &fixedWindow{w: 20}, d.SendData)
+	ws.FlowPackets = 500
+	doneAt := -1.0
+	ws.OnDone = func(now float64) { doneAt = now }
+	d.AddFlow(0, netem.SymmetricRTT(0.030), seeds, recv.OnData, ws.OnAck)
+	eng.At(0, ws.Start)
+	eng.RunUntil(60)
+	if doneAt < 0 {
+		t.Fatal("finite flow never completed")
+	}
+	if recv.UniqueBytes() != 500*MSS {
+		t.Fatalf("delivered %d bytes, want %d", recv.UniqueBytes(), 500*MSS)
+	}
+}
+
+func TestWindowSenderRecoversFromLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	d, seeds := buildPath(eng, 5, 100, 0.030, 0.05, 375*netem.KB)
+	recv := NewReceiver(eng, 0)
+	recv.SendAck = d.SendAck
+	ws := NewWindowSender(eng, 0, &fixedWindow{w: 50}, d.SendData)
+	ws.FlowPackets = 2000
+	done := false
+	ws.OnDone = func(now float64) { done = true }
+	d.AddFlow(0, netem.SymmetricRTT(0.030), seeds, recv.OnData, ws.OnAck)
+	eng.At(0, ws.Start)
+	eng.RunUntil(120)
+	if !done {
+		t.Fatalf("flow with 5%% loss never completed (acked so far: %d/%d, rtx %d)",
+			recv.UniquePackets(), 2000, ws.Retransmitted())
+	}
+	if ws.Retransmitted() == 0 {
+		t.Fatal("5% loss produced zero retransmissions")
+	}
+}
+
+// UniquePackets helper for tests.
+func (r *Receiver) UniquePackets() int64 { return r.uniquePkts }
+
+func TestWindowSenderThroughputMatchesWindow(t *testing.T) {
+	// cwnd 25 packets at 30 ms RTT ≈ 10 Mbps, well under the 100 Mbps
+	// link: goodput should match the window-limited prediction.
+	eng := sim.NewEngine()
+	d, seeds := buildPath(eng, 2, 100, 0.030, 0, 375*netem.KB)
+	recv := NewReceiver(eng, 0)
+	recv.SendAck = d.SendAck
+	ws := NewWindowSender(eng, 0, &fixedWindow{w: 25}, d.SendData)
+	d.AddFlow(0, netem.SymmetricRTT(0.030), seeds, recv.OnData, ws.OnAck)
+	eng.At(0, ws.Start)
+	eng.RunUntil(30)
+	got := float64(recv.UniqueBytes()) / 30
+	want := 25 * MSS / 0.0304 // window / (RTT + serialization)
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("goodput %.0f B/s, want ~%.0f", got, want)
+	}
+}
+
+// fixedRate is a test RateAlgo pacing at a constant rate.
+type fixedRate struct{ r float64 }
+
+func (f *fixedRate) Name() string                              { return "fixedrate" }
+func (f *fixedRate) Start(now float64)                         {}
+func (f *fixedRate) Rate(now float64) float64                  { return f.r }
+func (f *fixedRate) OnSend(seq int64, size int, now float64)   {}
+func (f *fixedRate) OnAck(seq int64, rtt float64, now float64) {}
+func (f *fixedRate) OnLost(seq int64, now float64)             {}
+
+func TestRateSenderPacesAtTargetRate(t *testing.T) {
+	eng := sim.NewEngine()
+	d, seeds := buildPath(eng, 3, 100, 0.030, 0, 375*netem.KB)
+	recv := NewReceiver(eng, 0)
+	recv.SendAck = d.SendAck
+	rs := NewRateSender(eng, 0, &fixedRate{r: netem.Mbps(20)}, d.SendData)
+	d.AddFlow(0, netem.SymmetricRTT(0.030), seeds, recv.OnData, rs.OnAck)
+	eng.At(0, rs.Start)
+	eng.RunUntil(20)
+	got := netem.ToMbps(float64(recv.UniqueBytes()) / 20)
+	if got < 19 || got > 21 {
+		t.Fatalf("paced goodput %.1f Mbps, want ~20", got)
+	}
+}
+
+func TestRateSenderCompletesUnderHeavyLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	d, seeds := buildPath(eng, 11, 100, 0.030, 0.2, 375*netem.KB)
+	recv := NewReceiver(eng, 0)
+	recv.SendAck = d.SendAck
+	rs := NewRateSender(eng, 0, &fixedRate{r: netem.Mbps(10)}, d.SendData)
+	rs.FlowPackets = 1000
+	done := false
+	rs.OnDone = func(now float64) { done = true }
+	d.AddFlow(0, netem.SymmetricRTT(0.030), seeds, recv.OnData, rs.OnAck)
+	eng.At(0, rs.Start)
+	eng.RunUntil(120)
+	if !done {
+		t.Fatalf("rate flow with 20%% loss never completed (rtx=%d)", rs.Retransmitted())
+	}
+}
+
+func TestReceiverGoodputDeduplicates(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewReceiver(eng, 0)
+	acks := 0
+	r.SendAck = func(p *netem.Packet) { acks++ }
+	for i := 0; i < 3; i++ {
+		r.OnData(&netem.Packet{Flow: 0, Seq: 0, Size: MSS})
+	}
+	if r.UniqueBytes() != MSS {
+		t.Fatalf("duplicates counted: %d", r.UniqueBytes())
+	}
+	if acks != 3 {
+		t.Fatalf("every arrival must be acked: %d", acks)
+	}
+	if r.TotalPackets() != 3 {
+		t.Fatalf("total = %d", r.TotalPackets())
+	}
+}
+
+func TestReceiverCumAckAdvancesThroughHoles(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewReceiver(eng, 0)
+	var lastCum int64
+	r.SendAck = func(p *netem.Packet) { lastCum = p.CumAck }
+	r.OnData(&netem.Packet{Seq: 0, Size: MSS})
+	r.OnData(&netem.Packet{Seq: 2, Size: MSS}) // hole at 1
+	if lastCum != 1 {
+		t.Fatalf("cumAck = %d, want 1", lastCum)
+	}
+	r.OnData(&netem.Packet{Seq: 1, Size: MSS}) // fill the hole
+	if lastCum != 3 {
+		t.Fatalf("cumAck = %d, want 3 after hole fill", lastCum)
+	}
+}
+
+func TestReceiverBuckets(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewReceiver(eng, 0)
+	r.Bucket = 1
+	r.SendAck = func(p *netem.Packet) {}
+	eng.At(0.5, func() { r.OnData(&netem.Packet{Seq: 0, Size: MSS}) })
+	eng.At(1.5, func() { r.OnData(&netem.Packet{Seq: 1, Size: MSS}) })
+	eng.At(1.6, func() { r.OnData(&netem.Packet{Seq: 2, Size: MSS}) })
+	eng.Run()
+	s := r.BucketSeries()
+	if len(s) != 2 || s[0] != MSS || s[1] != 2*MSS {
+		t.Fatalf("bucket series = %v", s)
+	}
+}

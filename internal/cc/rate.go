@@ -1,0 +1,346 @@
+package cc
+
+import (
+	"pcc/internal/netem"
+	"pcc/internal/sim"
+)
+
+// RateSender drives a RateAlgo (PCC, SABUL, PCP) over a simulated path.
+// Transmission is clocked purely by the algorithm's pacing rate — there is
+// no window. Reliability is SACK-based like WindowSender's: packets are
+// declared lost by SACK gap or by a tail timer, queued for retransmission,
+// and retransmissions consume pacing slots exactly like new data (§3.1:
+// "the Sending Module sends packets (new or retransmission) at a certain
+// sending rate").
+type RateSender struct {
+	Eng  *sim.Engine
+	Flow int
+	Algo RateAlgo
+	// SendData transmits a data packet (wired to Dumbbell.SendData).
+	SendData func(*netem.Packet)
+	Est      *RTTEstimator
+
+	// FlowPackets, when > 0, limits the flow length; 0 means unbounded.
+	FlowPackets int64
+	// OnDone fires when every packet of a finite flow has been acknowledged.
+	OnDone func(now float64)
+	// DupThresh is the SACK reordering threshold (default 3).
+	DupThresh int64
+	// MinRate floors the pacing rate so a flow can never stall itself
+	// (default 2 packets/second).
+	MinRate float64
+	// RTTHint seeds timers before the first RTT sample (default 0.1 s).
+	RTTHint float64
+
+	window   []*pktState
+	head     int
+	index    map[int64]*pktState
+	nextSeq  int64
+	cumAck   int64
+	sackHigh int64
+	lossScan int64
+	rtxQ     []int64
+
+	sendTimer    *sim.Timer
+	tailTimer    *sim.Timer
+	tailDeadline float64
+
+	sentPkts int64
+	rtxPkts  int64
+	rttSum   float64
+	rttCnt   int64
+	done     bool
+	started  bool
+
+	// rate trace for rate-over-time plots: appended whenever the polled
+	// rate changes by more than 0.1%.
+	TraceRate bool
+	RateTrace []RatePoint
+	lastRate  float64
+}
+
+// RatePoint is one (time, rate bytes/s) sample of the sender's target rate.
+type RatePoint struct {
+	At   float64
+	Rate float64
+}
+
+// NewRateSender wires a rate-based algorithm to a path.
+func NewRateSender(eng *sim.Engine, flow int, algo RateAlgo, sendData func(*netem.Packet)) *RateSender {
+	return &RateSender{
+		Eng:       eng,
+		Flow:      flow,
+		Algo:      algo,
+		SendData:  sendData,
+		Est:       NewRTTEstimator(),
+		DupThresh: 3,
+		MinRate:   2 * MSS,
+		RTTHint:   0.1,
+		index:     map[int64]*pktState{},
+		sackHigh:  -1,
+	}
+}
+
+// Start begins transmission.
+func (s *RateSender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.Algo.Start(s.Eng.Now())
+	s.sendLoop()
+}
+
+// Sent returns total data transmissions (including retransmissions).
+func (s *RateSender) Sent() int64 { return s.sentPkts }
+
+// Retransmitted returns the number of retransmissions.
+func (s *RateSender) Retransmitted() int64 { return s.rtxPkts }
+
+// MeanRTT returns the average of all valid RTT samples (0 if none).
+func (s *RateSender) MeanRTT() float64 {
+	if s.rttCnt == 0 {
+		return 0
+	}
+	return s.rttSum / float64(s.rttCnt)
+}
+
+func (s *RateSender) rate() float64 {
+	r := s.Algo.Rate(s.Eng.Now())
+	if r < s.MinRate {
+		r = s.MinRate
+	}
+	return r
+}
+
+func (s *RateSender) hasData() bool {
+	if len(s.rtxQ) > 0 {
+		return true
+	}
+	return s.FlowPackets == 0 || s.nextSeq < s.FlowPackets
+}
+
+// sendLoop transmits one packet and schedules the next transmission at the
+// current pacing rate.
+func (s *RateSender) sendLoop() {
+	if s.done || !s.hasData() {
+		return
+	}
+	now := s.Eng.Now()
+	s.sendOne(now)
+	r := s.rate()
+	if s.TraceRate {
+		if s.lastRate == 0 || r < s.lastRate*0.999 || r > s.lastRate*1.001 {
+			s.RateTrace = append(s.RateTrace, RatePoint{At: now, Rate: r})
+			s.lastRate = r
+		}
+	}
+	interval := MSS / r
+	s.sendTimer = s.Eng.After(interval, s.sendLoop)
+}
+
+func (s *RateSender) sendOne(now float64) {
+	var st *pktState
+	for len(s.rtxQ) > 0 {
+		seq := s.rtxQ[0]
+		s.rtxQ = s.rtxQ[1:]
+		cand := s.index[seq]
+		if cand != nil && cand.lost && !cand.sacked {
+			st = cand
+			st.lost = false
+			st.rtx = true
+			s.rtxPkts++
+			break
+		}
+	}
+	if st == nil {
+		if s.FlowPackets > 0 && s.nextSeq >= s.FlowPackets {
+			return
+		}
+		st = &pktState{seq: s.nextSeq}
+		s.nextSeq++
+		s.window = append(s.window, st)
+		s.index[st.seq] = st
+	}
+	s.sentPkts++
+	st.sentAt = now
+	p := &netem.Packet{Flow: s.Flow, Seq: st.seq, Size: MSS, Sent: now}
+	s.Algo.OnSend(st.seq, MSS, now)
+	s.SendData(p)
+	s.armTail()
+}
+
+// tailDelay is the tail-loss detection delay. Unlike kernel TCP's RTO
+// (floored at 200 ms — the very floor behind incast collapse, §4.1.8),
+// user-space rate-based transports like UDT keep fine-grained timers; a few
+// RTTs with a 10 ms floor matches that behaviour.
+func (s *RateSender) tailDelay() float64 {
+	if !s.Est.HasSample() {
+		// No RTT estimate yet: derive from the hint, conservatively, or a
+		// long-RTT path's entire first flight would be declared lost
+		// before any ACK could possibly return.
+		d := 4 * s.RTTHint
+		if d < 0.1 {
+			d = 0.1
+		}
+		return d
+	}
+	d := 3 * s.Est.SRTT
+	if d < 0.01 {
+		d = 0.01
+	}
+	return d
+}
+
+// armTail schedules the tail-loss timer lazily: the deadline field is
+// refreshed on every ACK and the timer re-arms itself when it fires early,
+// avoiding a heap operation per acknowledgment.
+func (s *RateSender) armTail() {
+	if s.tailTimer.Active() {
+		return
+	}
+	s.tailDeadline = s.Eng.Now() + s.tailDelay()
+	s.tailTimer = s.Eng.After(s.tailDelay(), s.onTail)
+}
+
+func (s *RateSender) onTail() {
+	if s.done {
+		return
+	}
+	now := s.Eng.Now()
+	if now < s.tailDeadline {
+		// ACKs arrived since this timer was armed: sleep until the
+		// refreshed deadline.
+		s.tailTimer = s.Eng.After(s.tailDeadline-now, s.onTail)
+		return
+	}
+	rto := s.tailDelay()
+	for i := s.head; i < len(s.window); i++ {
+		st := s.window[i]
+		// Only packets older than the tail delay are presumed lost;
+		// fresher ones may simply still be in flight.
+		if !st.sacked && !st.lost && now-st.sentAt > rto {
+			st.lost = true
+			s.rtxQ = append(s.rtxQ, st.seq)
+			s.Algo.OnLost(st.seq, now)
+		}
+	}
+	if s.outstandingUnsacked() > 0 || s.hasData() {
+		s.tailTimer = s.Eng.After(s.tailDelay(), s.onTail)
+	}
+	// Pacing may have stopped on a fully-sent finite flow; resume for the
+	// queued retransmissions.
+	if !s.sendTimer.Active() {
+		s.sendLoop()
+	}
+}
+
+// searchSeq returns the index of the first window entry with seq >= target
+// (the window slice is ordered by seq).
+func (s *RateSender) searchSeq(target int64) int {
+	lo, hi := s.head, len(s.window)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.window[mid].seq < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (s *RateSender) outstandingUnsacked() int {
+	n := 0
+	for i := s.head; i < len(s.window); i++ {
+		if !s.window[i].sacked {
+			n++
+		}
+	}
+	return n
+}
+
+// OnAck processes an arriving acknowledgment.
+func (s *RateSender) OnAck(p *netem.Packet) {
+	if s.done {
+		return
+	}
+	now := s.Eng.Now()
+
+	if st := s.index[p.SackSeq]; st != nil && !st.sacked {
+		st.sacked = true
+		rtt := now - p.EchoSent
+		if !st.rtx {
+			s.Est.Sample(rtt)
+			s.rttSum += rtt
+			s.rttCnt++
+		}
+		s.Algo.OnAck(p.SackSeq, rtt, now)
+	}
+	if p.SackSeq > s.sackHigh {
+		s.sackHigh = p.SackSeq
+	}
+	cumAdvanced := false
+	if p.CumAck > s.cumAck {
+		s.cumAck = p.CumAck
+		cumAdvanced = true
+	}
+	for s.head < len(s.window) && s.window[s.head].seq < s.cumAck {
+		st := s.window[s.head]
+		s.window[s.head] = nil
+		s.head++
+		delete(s.index, st.seq)
+		if !st.sacked {
+			// Delivered, but its own SACK was lost on the reverse path:
+			// cumulative coverage proves delivery, so tell the algorithm
+			// (no RTT sample). Without this, ACK-path loss would inflate
+			// the monitor's measured loss rate.
+			st.sacked = true
+			s.Algo.OnAck(st.seq, 0, now)
+		}
+	}
+	if s.head > 1024 && s.head*2 > len(s.window) {
+		s.window = append([]*pktState(nil), s.window[s.head:]...)
+		s.head = 0
+	}
+
+	// Refresh the tail deadline only when the cumulative point advances:
+	// a lost retransmission leaves a hole SACK-gap detection cannot
+	// re-mark, and only the tail timer can rescue it.
+	if cumAdvanced {
+		s.tailDeadline = now + s.tailDelay()
+	}
+
+	// SACK-gap loss detection. The window slice is sorted by seq, so start
+	// at the first unexamined entry; each sequence is visited once.
+	limit := s.sackHigh - s.DupThresh
+	if limit >= s.lossScan {
+		for i := s.searchSeq(s.lossScan); i < len(s.window); i++ {
+			st := s.window[i]
+			if st.seq > limit {
+				break
+			}
+			if !st.sacked && !st.lost {
+				st.lost = true
+				s.rtxQ = append(s.rtxQ, st.seq)
+				s.Algo.OnLost(st.seq, now)
+			}
+		}
+		s.lossScan = limit + 1
+	}
+
+	if s.FlowPackets > 0 && s.nextSeq >= s.FlowPackets && s.outstandingUnsacked() == 0 {
+		s.done = true
+		s.sendTimer.Stop()
+		s.tailTimer.Stop()
+		if s.OnDone != nil {
+			s.OnDone(now)
+		}
+		return
+	}
+	// Pacing may have stopped on a fully-sent finite flow; resume if
+	// retransmissions are now queued.
+	if !s.sendTimer.Active() && s.hasData() {
+		s.sendLoop()
+	}
+}

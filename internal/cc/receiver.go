@@ -1,0 +1,135 @@
+package cc
+
+import (
+	"pcc/internal/netem"
+	"pcc/internal/sim"
+)
+
+// Receiver is the data sink for one flow. It acknowledges every data packet
+// (cumulative + selective sequence number + timestamp echo) and tracks
+// goodput: only the first delivery of each sequence number counts.
+type Receiver struct {
+	Eng  *sim.Engine
+	Flow int
+	// SendAck transmits an ACK onto the reverse path (wired to
+	// Dumbbell.SendAck by the experiment).
+	SendAck func(*netem.Packet)
+
+	// FlowPackets, when > 0, is the flow length in packets; OnComplete
+	// fires when all of [0, FlowPackets) have been received at least once.
+	FlowPackets int64
+	OnComplete  func(now float64)
+
+	// Bucket, when > 0, aggregates goodput into time buckets of this width
+	// (seconds) for rate-over-time plots.
+	Bucket  float64
+	buckets []float64 // bytes per bucket
+
+	cumAck      int64 // next expected in-order sequence
+	ooo         map[int64]bool
+	uniqueBytes int64
+	uniquePkts  int64
+	totalPkts   int64
+	firstAt     float64
+	lastAt      float64
+	completed   bool
+}
+
+// NewReceiver builds a receiver for the given flow.
+func NewReceiver(eng *sim.Engine, flow int) *Receiver {
+	return &Receiver{Eng: eng, Flow: flow, ooo: map[int64]bool{}, firstAt: -1}
+}
+
+// OnData processes an arriving data packet and emits an ACK.
+func (r *Receiver) OnData(p *netem.Packet) {
+	now := r.Eng.Now()
+	r.totalPkts++
+	if r.firstAt < 0 {
+		r.firstAt = now
+	}
+	r.lastAt = now
+
+	fresh := false
+	switch {
+	case p.Seq == r.cumAck:
+		fresh = true
+		r.cumAck++
+		for r.ooo[r.cumAck] {
+			delete(r.ooo, r.cumAck)
+			r.cumAck++
+		}
+	case p.Seq > r.cumAck:
+		if !r.ooo[p.Seq] {
+			r.ooo[p.Seq] = true
+			fresh = true
+		}
+	}
+	if fresh {
+		r.uniqueBytes += int64(p.Size)
+		r.uniquePkts++
+		if r.Bucket > 0 {
+			i := int(now / r.Bucket)
+			for len(r.buckets) <= i {
+				r.buckets = append(r.buckets, 0)
+			}
+			r.buckets[i] += float64(p.Size)
+		}
+	}
+
+	ack := &netem.Packet{
+		Flow:     p.Flow,
+		Ack:      true,
+		Size:     AckSize,
+		Sent:     now,
+		CumAck:   r.cumAck,
+		SackSeq:  p.Seq,
+		EchoSent: p.Sent,
+	}
+	if r.SendAck != nil {
+		r.SendAck(ack)
+	}
+
+	if !r.completed && r.FlowPackets > 0 && r.uniquePkts >= r.FlowPackets {
+		r.completed = true
+		if r.OnComplete != nil {
+			r.OnComplete(now)
+		}
+	}
+}
+
+// UniqueBytes returns the goodput byte count (retransmissions deduplicated).
+func (r *Receiver) UniqueBytes() int64 { return r.uniqueBytes }
+
+// TotalPackets returns every delivered packet including duplicates.
+func (r *Receiver) TotalPackets() int64 { return r.totalPkts }
+
+// Goodput returns unique bytes per second over [from, to].
+func (r *Receiver) Goodput(from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(r.uniqueBytes) / (to - from)
+}
+
+// BucketSeries returns per-bucket goodput in bytes/s. Valid when Bucket > 0.
+func (r *Receiver) BucketSeries() []float64 {
+	out := make([]float64, len(r.buckets))
+	for i, b := range r.buckets {
+		out[i] = b / r.Bucket
+	}
+	return out
+}
+
+// GoodputBetween returns unique-byte goodput measured over bucketed time
+// range [from, to) using the bucket series; requires Bucket > 0.
+func (r *Receiver) GoodputBetween(from, to float64) float64 {
+	if r.Bucket <= 0 || to <= from {
+		return 0
+	}
+	lo, hi := int(from/r.Bucket), int(to/r.Bucket)
+	var sum float64
+	for i := lo; i < hi && i < len(r.buckets); i++ {
+		sum += r.buckets[i]
+	}
+	return sum / (to - from)
+}

@@ -1,0 +1,388 @@
+package cc
+
+import (
+	"pcc/internal/netem"
+	"pcc/internal/sim"
+)
+
+// pktState tracks one outstanding data packet at the sender.
+type pktState struct {
+	seq    int64
+	sentAt float64 // time of the most recent (re)transmission
+	sacked bool
+	lost   bool
+	rtx    bool
+}
+
+// WindowSender drives a WindowAlgo over a simulated path. Reliability is
+// SACK-based: every ACK carries the sequence it acknowledges; a packet is
+// declared lost when DupThresh packets above it have been SACKed (the SACK
+// analogue of triple-duplicate-ACK), or when the retransmission timer fires.
+type WindowSender struct {
+	Eng  *sim.Engine
+	Flow int
+	Algo WindowAlgo
+	// SendData transmits a data packet (wired to Dumbbell.SendData).
+	SendData func(*netem.Packet)
+	Est      *RTTEstimator
+
+	// FlowPackets, when > 0, limits the flow length; 0 means unbounded.
+	FlowPackets int64
+	// OnDone fires when every packet of a finite flow has been acknowledged.
+	OnDone func(now float64)
+	// Paced enables packet pacing at cwnd/SRTT (the "TCP Pacing" baseline
+	// of §4.1.6).
+	Paced bool
+	// RTTHint seeds the pacing rate before the first RTT sample.
+	RTTHint float64
+	// DupThresh is the SACK reordering threshold (default 3).
+	DupThresh int64
+	// MaxCwnd models the receiver window / socket buffer: the congestion
+	// window is clamped to this many packets (default 65536).
+	MaxCwnd float64
+
+	window   []*pktState // outstanding packets ordered by seq
+	head     int
+	index    map[int64]*pktState
+	nextSeq  int64
+	cumAck   int64
+	sackHigh int64 // highest SACKed sequence
+	lossScan int64 // sequences below this have been examined for SACK loss
+	pipe     int
+	rtxQ     []int64
+
+	inRecovery bool
+	recover    int64
+
+	rtoTimer    *sim.Timer
+	rtoDeadline float64
+	rtoBackoff  float64
+
+	paceTimer *sim.Timer
+
+	sentPkts int64
+	rtxPkts  int64
+	rttSum   float64
+	rttCnt   int64
+	done     bool
+	started  bool
+}
+
+// NewWindowSender wires a window-based algorithm to a path.
+func NewWindowSender(eng *sim.Engine, flow int, algo WindowAlgo, sendData func(*netem.Packet)) *WindowSender {
+	return &WindowSender{
+		Eng:        eng,
+		Flow:       flow,
+		Algo:       algo,
+		SendData:   sendData,
+		Est:        NewRTTEstimator(),
+		RTTHint:    0.1,
+		DupThresh:  3,
+		MaxCwnd:    65536,
+		index:      map[int64]*pktState{},
+		sackHigh:   -1,
+		lossScan:   0,
+		rtoBackoff: 1,
+	}
+}
+
+// Start begins transmission.
+func (s *WindowSender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.trySend()
+}
+
+// Sent returns total data transmissions (including retransmissions).
+func (s *WindowSender) Sent() int64 { return s.sentPkts }
+
+// Retransmitted returns the number of retransmissions.
+func (s *WindowSender) Retransmitted() int64 { return s.rtxPkts }
+
+// MeanRTT returns the average of all valid RTT samples (0 if none).
+func (s *WindowSender) MeanRTT() float64 {
+	if s.rttCnt == 0 {
+		return 0
+	}
+	return s.rttSum / float64(s.rttCnt)
+}
+
+func (s *WindowSender) cwnd() float64 {
+	w := s.Algo.Cwnd()
+	if w < 1 {
+		w = 1
+	}
+	if s.MaxCwnd > 0 && w > s.MaxCwnd {
+		w = s.MaxCwnd
+	}
+	return w
+}
+
+func (s *WindowSender) hasData() bool {
+	if len(s.rtxQ) > 0 {
+		return true
+	}
+	return s.FlowPackets == 0 || s.nextSeq < s.FlowPackets
+}
+
+// trySend transmits as allowed by cwnd (immediately, or via the pacer).
+func (s *WindowSender) trySend() {
+	if s.done {
+		return
+	}
+	if s.Paced {
+		s.schedulePace()
+		return
+	}
+	for float64(s.pipe) < s.cwnd() && s.hasData() {
+		s.sendOne()
+	}
+}
+
+// schedulePace arms the pacing timer if it is idle and there is work.
+func (s *WindowSender) schedulePace() {
+	if s.paceTimer.Active() || s.done {
+		return
+	}
+	if float64(s.pipe) >= s.cwnd() || !s.hasData() {
+		return
+	}
+	rtt := s.Est.SRTT
+	if !s.Est.HasSample() {
+		rtt = s.RTTHint
+	}
+	rate := s.cwnd() * MSS / rtt // bytes/s
+	interval := MSS / rate
+	s.paceTimer = s.Eng.After(interval, func() {
+		if float64(s.pipe) < s.cwnd() && s.hasData() && !s.done {
+			s.sendOne()
+		}
+		s.schedulePace()
+	})
+}
+
+// sendOne transmits the next retransmission or new packet.
+func (s *WindowSender) sendOne() {
+	now := s.Eng.Now()
+	var st *pktState
+	for len(s.rtxQ) > 0 {
+		seq := s.rtxQ[0]
+		s.rtxQ = s.rtxQ[1:]
+		cand := s.index[seq]
+		if cand != nil && cand.lost && !cand.sacked {
+			st = cand
+			st.lost = false
+			st.rtx = true
+			s.rtxPkts++
+			break
+		}
+	}
+	if st == nil {
+		if s.FlowPackets > 0 && s.nextSeq >= s.FlowPackets {
+			return
+		}
+		st = &pktState{seq: s.nextSeq}
+		s.nextSeq++
+		s.window = append(s.window, st)
+		s.index[st.seq] = st
+	}
+	s.pipe++
+	s.sentPkts++
+	st.sentAt = now
+	p := &netem.Packet{Flow: s.Flow, Seq: st.seq, Size: MSS, Sent: now}
+	s.SendData(p)
+	s.armRTO()
+}
+
+// armRTO starts the retransmission timer if it is not already running. It
+// must not refresh an armed timer: only cumulative-ACK progress may do that
+// (resetRTO), or a stuck hole would never time out while traffic flows.
+func (s *WindowSender) armRTO() {
+	if s.rtoTimer.Active() {
+		return
+	}
+	s.rtoDeadline = s.Eng.Now() + s.Est.RTO()*s.rtoBackoff
+	s.rtoTimer = s.Eng.After(s.Est.RTO()*s.rtoBackoff, s.onRTO)
+}
+
+func (s *WindowSender) resetRTO() {
+	if s.pipe > 0 || len(s.rtxQ) > 0 {
+		s.rtoDeadline = s.Eng.Now() + s.Est.RTO()*s.rtoBackoff
+	} else {
+		s.rtoTimer.Stop()
+	}
+}
+
+// OnAck processes an arriving acknowledgment.
+func (s *WindowSender) OnAck(p *netem.Packet) {
+	if s.done {
+		return
+	}
+	now := s.Eng.Now()
+	newly := 0
+	var rttSample float64
+
+	if st := s.index[p.SackSeq]; st != nil && !st.sacked {
+		st.sacked = true
+		if st.lost {
+			st.lost = false // was queued for rtx but arrived after all
+		} else {
+			s.pipe--
+		}
+		newly++
+		if !st.rtx { // Karn: no samples from retransmitted packets
+			rttSample = now - p.EchoSent
+		}
+	}
+	if p.SackSeq > s.sackHigh {
+		s.sackHigh = p.SackSeq
+	}
+
+	// Advance the cumulative window head.
+	cumAdvanced := false
+	if p.CumAck > s.cumAck {
+		s.cumAck = p.CumAck
+		cumAdvanced = true
+	}
+	for s.head < len(s.window) && s.window[s.head].seq < s.cumAck {
+		st := s.window[s.head]
+		s.window[s.head] = nil
+		s.head++
+		delete(s.index, st.seq)
+		if !st.sacked {
+			if st.lost {
+				st.sacked = true // neutralize any queued rtx
+			} else {
+				s.pipe--
+			}
+			newly++
+		}
+	}
+	if s.head > 1024 && s.head*2 > len(s.window) {
+		s.window = append([]*pktState(nil), s.window[s.head:]...)
+		s.head = 0
+	}
+
+	if rttSample > 0 {
+		s.Est.Sample(rttSample)
+		s.rttSum += rttSample
+		s.rttCnt++
+	}
+	if newly > 0 {
+		for i := 0; i < newly; i++ {
+			s.Algo.OnAck(now, rttSample, s.Est)
+		}
+	} else {
+		s.Algo.OnDupAck()
+	}
+	// RFC 6298 semantics: the retransmission timer restarts only when
+	// SND.UNA advances. SACKs for later packets must NOT refresh it, or a
+	// lost retransmission (which SACK-gap detection cannot re-mark) would
+	// stall recovery forever while the window grows unchecked.
+	if cumAdvanced {
+		s.rtoBackoff = 1
+		s.resetRTO()
+	}
+
+	// SACK loss detection: a packet is lost once DupThresh packets above it
+	// have been SACKed. Each sequence is examined at most once (lossScan is
+	// monotone outside of RTO recovery).
+	lossEvent := false
+	limit := s.sackHigh - s.DupThresh
+	if limit >= s.lossScan {
+		for i := s.searchSeq(s.lossScan); i < len(s.window); i++ {
+			st := s.window[i]
+			if st.seq > limit {
+				break
+			}
+			if !st.sacked && !st.lost {
+				st.lost = true
+				s.pipe--
+				s.rtxQ = append(s.rtxQ, st.seq)
+				lossEvent = true
+			}
+		}
+		s.lossScan = limit + 1
+	}
+	if lossEvent && !s.inRecovery {
+		s.inRecovery = true
+		s.recover = s.nextSeq - 1
+		s.Algo.OnLossEvent(now)
+	}
+	if s.inRecovery && s.cumAck > s.recover {
+		s.inRecovery = false
+	}
+
+	// Completion for finite flows.
+	if s.FlowPackets > 0 && s.nextSeq >= s.FlowPackets && s.outstanding() == 0 {
+		s.done = true
+		s.rtoTimer.Stop()
+		s.paceTimer.Stop()
+		if s.OnDone != nil {
+			s.OnDone(now)
+		}
+		return
+	}
+
+	s.trySend()
+}
+
+// searchSeq returns the index of the first window entry with seq >= target
+// (the window slice is ordered by seq).
+func (s *WindowSender) searchSeq(target int64) int {
+	lo, hi := s.head, len(s.window)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.window[mid].seq < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// outstanding counts packets neither SACKed nor cumulatively acknowledged.
+func (s *WindowSender) outstanding() int {
+	n := 0
+	for i := s.head; i < len(s.window); i++ {
+		if !s.window[i].sacked {
+			n++
+		}
+	}
+	return n
+}
+
+// onRTO handles a retransmission timeout: every un-SACKed outstanding packet
+// is presumed lost and the algorithm collapses its window.
+func (s *WindowSender) onRTO() {
+	if s.done {
+		return
+	}
+	if now := s.Eng.Now(); now < s.rtoDeadline {
+		// ACKs refreshed the deadline since this timer was armed.
+		s.rtoTimer = s.Eng.After(s.rtoDeadline-now, s.onRTO)
+		return
+	}
+	s.Algo.OnTimeout(s.Eng.Now())
+	s.rtoBackoff *= 2
+	if s.rtoBackoff > 64 {
+		s.rtoBackoff = 64
+	}
+	s.rtxQ = s.rtxQ[:0]
+	for i := s.head; i < len(s.window); i++ {
+		st := s.window[i]
+		if !st.sacked {
+			st.lost = true
+			s.rtxQ = append(s.rtxQ, st.seq)
+		}
+	}
+	s.pipe = 0
+	s.lossScan = s.nextSeq // re-examine nothing until new SACK evidence
+	s.inRecovery = true
+	s.recover = s.nextSeq - 1
+	s.trySend()
+	s.armRTO()
+}

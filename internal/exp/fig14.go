@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+
+	"pcc/internal/netem"
+)
+
+// RunFig14 reproduces Fig. 14 (§4.3.1): TCP friendliness. One normal New
+// Reno flow competes against n "selfish flows", where a selfish flow is
+// either a bundle of 10 parallel New Reno connections (TCP-Selfish — a
+// common practice) or a single PCC flow. The relative unfriendliness ratio
+// is the normal flow's throughput when competing with PCC divided by its
+// throughput when competing with TCP-Selfish: above 1 means PCC is the
+// friendlier neighbour.
+func RunFig14(scale float64, seed int64) *Report {
+	scale = clampScale(scale)
+	dur := scaledDur(100, 40, scale)
+	nets := []struct {
+		RateMbps float64
+		RTT      float64
+	}{
+		{10, 0.010}, {30, 0.020}, {30, 0.010}, {100, 0.010},
+	}
+	counts := []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+	rep := &Report{
+		ID:     "fig14",
+		Title:  "TCP friendliness: normal-TCP throughput with PCC rivals / with 10-parallel-TCP rivals",
+		Header: append([]string{"network"}, intHeaders(counts, " selfish")...),
+	}
+	for _, nw := range nets {
+		row := []string{fmt.Sprintf("%.0fMbps,%.0fms", nw.RateMbps, nw.RTT*1e3)}
+		buf := int(netem.Mbps(nw.RateMbps) * nw.RTT)
+		for _, n := range counts {
+			// Competing with n PCC flows.
+			withPCC := normalTCPThroughput(nw.RateMbps, nw.RTT, buf, n, "pcc", 1, dur, seed)
+			// Competing with n bundles of 10 parallel TCP flows.
+			withBundle := normalTCPThroughput(nw.RateMbps, nw.RTT, buf, n, "newreno", 10, dur, seed)
+			ratio := 0.0
+			if withBundle > 0 {
+				ratio = withPCC / withBundle
+			}
+			row = append(row, f2(ratio))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		">1: PCC is friendlier than the 10-parallel-TCP selfish practice (paper: ratio rises above 1 as selfish senders increase)")
+	return rep
+}
+
+// normalTCPThroughput measures one normal New Reno flow's goodput (Mbps)
+// when sharing the path with n selfish flows, each made of `width`
+// connections of the given protocol.
+func normalTCPThroughput(rateMbps, rtt float64, buf, n int, proto string, width int, dur float64, seed int64) float64 {
+	r := NewRunner(PathSpec{RateMbps: rateMbps, RTT: rtt, BufBytes: buf, Seed: seed})
+	normal := r.AddFlow(FlowSpec{Proto: "newreno"})
+	for i := 0; i < n*width; i++ {
+		r.AddFlow(FlowSpec{Proto: proto})
+	}
+	r.Run(dur)
+	return normal.GoodputMbps(dur)
+}

@@ -1,0 +1,210 @@
+// Package exp contains one driver per table/figure of the paper's
+// evaluation (§4), plus the shared harness that assembles simulated
+// dumbbells, flows and protocols. Each driver returns structured rows that
+// cmd/pccbench and bench_test.go print; EXPERIMENTS.md records
+// paper-vs-measured for each.
+package exp
+
+import (
+	"fmt"
+
+	"pcc/internal/baseline"
+	"pcc/internal/cc"
+	"pcc/internal/core"
+	"pcc/internal/netem"
+	"pcc/internal/sim"
+	"pcc/internal/tcp"
+)
+
+// PathSpec describes the shared bottleneck of a dumbbell.
+type PathSpec struct {
+	// RateMbps is the bottleneck capacity in Mbps.
+	RateMbps float64
+	// RTT is the default two-way propagation delay for flows, seconds.
+	RTT float64
+	// Loss is the forward-path Bernoulli loss probability.
+	Loss float64
+	// BufBytes is the bottleneck queue capacity in bytes (ignored for FQ
+	// kinds, which use it per flow).
+	BufBytes int
+	// QueueKind selects the AQM: "droptail" (default), "codel", "fq",
+	// "fqcodel".
+	QueueKind string
+	// Seed roots all randomness for the run.
+	Seed int64
+}
+
+// FlowSpec describes one flow in a run.
+type FlowSpec struct {
+	// Proto is "pcc", "sabul", "pcp", "pacing" (paced New Reno), or any
+	// internal/tcp variant name.
+	Proto string
+	// RTT overrides the path RTT for this flow (0 = path default).
+	RTT float64
+	// RevLoss is ACK-path Bernoulli loss.
+	RevLoss float64
+	// StartAt is the flow's start time, seconds.
+	StartAt float64
+	// FlowKB limits the flow to this many kilobytes (0 = unbounded).
+	FlowKB int
+	// Bucket enables per-bucket goodput series of this width, seconds.
+	Bucket float64
+	// PCCConfig overrides the default PCC configuration (pcc only).
+	PCCConfig *core.Config
+	// Utility overrides the PCC utility function (pcc only).
+	Utility core.Utility
+	// CapacityHint feeds SABUL's packet-pair capacity estimate, bytes/s
+	// (0 = path capacity).
+	CapacityHint float64
+	// TraceRate records the rate-based sender's target-rate trace.
+	TraceRate bool
+}
+
+// Flow is a running flow's handle.
+type Flow struct {
+	ID     int
+	Spec   FlowSpec
+	Recv   *cc.Receiver
+	WS     *cc.WindowSender
+	RS     *cc.RateSender
+	PCC    *core.PCC
+	DoneAt float64 // completion time for finite flows; -1 while running
+}
+
+// Runner assembles and runs one dumbbell simulation.
+type Runner struct {
+	Eng   *sim.Engine
+	Seeds *sim.Seeds
+	Net   *netem.Dumbbell
+	Path  PathSpec
+	Flows []*Flow
+}
+
+// NewRunner builds the dumbbell for the given path.
+func NewRunner(p PathSpec) *Runner {
+	eng := sim.NewEngine()
+	seeds := sim.NewSeeds(p.Seed)
+	var q netem.Queue
+	switch p.QueueKind {
+	case "", "droptail":
+		q = netem.NewDropTail(p.BufBytes)
+	case "codel":
+		q = netem.NewCoDel(p.BufBytes)
+	case "fq":
+		q = netem.NewFQ(p.BufBytes)
+	case "fqcodel":
+		q = netem.NewFQCoDel(p.BufBytes)
+	default:
+		panic(fmt.Sprintf("exp: unknown queue kind %q", p.QueueKind))
+	}
+	net := netem.NewDumbbell(eng, q, netem.Mbps(p.RateMbps), p.Loss, seeds)
+	return &Runner{Eng: eng, Seeds: seeds, Net: net, Path: p}
+}
+
+// Capacity returns the bottleneck capacity in bytes/s.
+func (r *Runner) Capacity() float64 { return netem.Mbps(r.Path.RateMbps) }
+
+// AddFlow registers a flow; it will start at spec.StartAt.
+func (r *Runner) AddFlow(spec FlowSpec) *Flow {
+	id := len(r.Flows)
+	rtt := spec.RTT
+	if rtt <= 0 {
+		rtt = r.Path.RTT
+	}
+	f := &Flow{ID: id, Spec: spec, DoneAt: -1}
+	r.Flows = append(r.Flows, f)
+	f.Recv = cc.NewReceiver(r.Eng, id)
+	f.Recv.SendAck = r.Net.SendAck
+	f.Recv.Bucket = spec.Bucket
+	var flowPkts int64
+	if spec.FlowKB > 0 {
+		flowPkts = int64((spec.FlowKB*1000 + cc.MSS - 1) / cc.MSS)
+		f.Recv.FlowPackets = flowPkts
+	}
+
+	cfg := netem.FlowConfig{FwdDelay: rtt / 2, RevDelay: rtt / 2, RevLoss: spec.RevLoss}
+
+	switch spec.Proto {
+	case "pcc":
+		pcfg := core.DefaultConfig(rtt)
+		if spec.PCCConfig != nil {
+			pcfg = *spec.PCCConfig
+		}
+		if spec.Utility != nil {
+			pcfg.Utility = spec.Utility
+		}
+		algo := core.New(pcfg, r.Seeds.NextRand())
+		f.PCC = algo
+		f.RS = cc.NewRateSender(r.Eng, id, algo, r.Net.SendData)
+	case "sabul":
+		hint := spec.CapacityHint
+		if hint <= 0 {
+			hint = r.Capacity()
+		}
+		f.RS = cc.NewRateSender(r.Eng, id, baseline.NewSabul(hint), r.Net.SendData)
+	case "pcp":
+		f.RS = cc.NewRateSender(r.Eng, id, baseline.NewPCP(0), r.Net.SendData)
+	case "pacing":
+		f.WS = cc.NewWindowSender(r.Eng, id, tcp.NewReno(), r.Net.SendData)
+		f.WS.Paced = true
+		f.WS.RTTHint = rtt
+	default:
+		algo, err := tcp.New(spec.Proto)
+		if err != nil {
+			panic(err)
+		}
+		f.WS = cc.NewWindowSender(r.Eng, id, algo, r.Net.SendData)
+		f.WS.RTTHint = rtt
+	}
+	if f.WS != nil {
+		// Socket-buffer-like clamp: 8x the path BDP, floored generously so
+		// small-BDP paths still allow bursts.
+		bdpPkts := r.Capacity() * rtt / cc.MSS
+		f.WS.MaxCwnd = 8*bdpPkts + 1000
+	}
+
+	if f.RS != nil {
+		f.RS.FlowPackets = flowPkts
+		f.RS.RTTHint = rtt
+		f.RS.TraceRate = spec.TraceRate
+		f.RS.OnDone = func(now float64) { f.DoneAt = now }
+		r.Net.AddFlow(id, cfg, r.Seeds, f.Recv.OnData, f.RS.OnAck)
+		r.Eng.At(spec.StartAt, f.RS.Start)
+	} else {
+		f.WS.FlowPackets = flowPkts
+		f.WS.OnDone = func(now float64) { f.DoneAt = now }
+		r.Net.AddFlow(id, cfg, r.Seeds, f.Recv.OnData, f.WS.OnAck)
+		r.Eng.At(spec.StartAt, f.WS.Start)
+	}
+	return f
+}
+
+// Run advances the simulation to the given time (seconds).
+func (r *Runner) Run(until float64) { r.Eng.RunUntil(until) }
+
+// GoodputMbps returns a flow's whole-run goodput in Mbps measured from its
+// start time to `until`.
+func (f *Flow) GoodputMbps(until float64) float64 {
+	dur := until - f.Spec.StartAt
+	if dur <= 0 {
+		return 0
+	}
+	return netem.ToMbps(float64(f.Recv.UniqueBytes()) / dur)
+}
+
+// SeriesMbps returns the flow's per-bucket goodput in Mbps (requires
+// Spec.Bucket > 0).
+func (f *Flow) SeriesMbps() []float64 {
+	s := f.Recv.BucketSeries()
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[i] = netem.ToMbps(v)
+	}
+	return out
+}
+
+// WindowMbps returns goodput in Mbps over [from, to] using the bucket
+// series.
+func (f *Flow) WindowMbps(from, to float64) float64 {
+	return netem.ToMbps(f.Recv.GoodputBetween(from, to))
+}

@@ -1,0 +1,35 @@
+package exp
+
+import "testing"
+
+// TestPCCSmokeTracksCapacity is the foundational integration check: a single
+// PCC flow on a clean 100 Mbps / 30 ms / BDP-buffer path should converge to
+// a large fraction of capacity.
+func TestPCCSmokeTracksCapacity(t *testing.T) {
+	r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem_KB, Seed: 1})
+	f := r.AddFlow(FlowSpec{Proto: "pcc"})
+	r.Run(30)
+	got := f.GoodputMbps(30)
+	if got < 70 {
+		t.Fatalf("PCC goodput = %.1f Mbps on a clean 100 Mbps path; want > 70", got)
+	}
+	t.Logf("PCC goodput = %.1f Mbps", got)
+}
+
+const netem_KB = 1000
+
+// TestTCPSmokeTracksCapacity: New Reno and CUBIC should also fill a clean
+// path with a BDP buffer.
+func TestTCPSmokeTracksCapacity(t *testing.T) {
+	for _, proto := range []string{"newreno", "cubic", "illinois"} {
+		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem_KB, Seed: 1})
+		f := r.AddFlow(FlowSpec{Proto: proto})
+		r.Run(30)
+		got := f.GoodputMbps(30)
+		if got < 70 {
+			t.Errorf("%s goodput = %.1f Mbps on a clean 100 Mbps path; want > 70", proto, got)
+		} else {
+			t.Logf("%s goodput = %.1f Mbps", proto, got)
+		}
+	}
+}

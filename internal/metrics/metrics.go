@@ -1,0 +1,178 @@
+// Package metrics implements the statistics the paper's evaluation reports:
+// Jain's fairness index (Fig. 13), percentiles and CDFs (Figs. 5, 15),
+// throughput standard deviation and the §4.2.2 forward-looking convergence
+// time (Fig. 16).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation between closest ranks. It copies and sorts its input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median is the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for the given
+// allocations: 1 for perfect fairness, 1/n when one flow takes everything.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1 // all-zero allocations are (vacuously) fair
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X    float64
+	Frac float64 // fraction of samples <= X
+}
+
+// CDF returns the empirical CDF of xs (sorted ascending).
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, x := range s {
+		out[i] = CDFPoint{X: x, Frac: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// FracAtLeast returns the fraction of samples >= threshold.
+func FracAtLeast(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// ConvergenceTime implements the §4.2.2 forward-looking definition: given a
+// per-second throughput series for the newly arrived flow (indexed by
+// seconds since flow start), the ideal equal-share rate, and a window
+// (paper: 5 s), it returns the smallest t such that every second in
+// [t, t+window] is within ±tol (paper: 0.25) of ideal. It returns -1 when
+// the flow never converges within the series.
+func ConvergenceTime(perSecond []float64, ideal float64, window int, tol float64) float64 {
+	if ideal <= 0 {
+		return -1
+	}
+	ok := func(v float64) bool {
+		return v >= ideal*(1-tol) && v <= ideal*(1+tol)
+	}
+	for t := 0; t+window < len(perSecond); t++ {
+		good := true
+		for i := t; i <= t+window; i++ {
+			if !ok(perSecond[i]) {
+				good = false
+				break
+			}
+		}
+		if good {
+			return float64(t)
+		}
+	}
+	return -1
+}
+
+// WindowedJain computes Jain's index over non-overlapping windows of the
+// given width (in samples) across per-flow series, returning the mean index
+// — the Fig. 13 "fairness at time scale" metric. Series are truncated to
+// the shortest one.
+func WindowedJain(series [][]float64, window int) float64 {
+	if len(series) == 0 || window <= 0 {
+		return 0
+	}
+	n := len(series[0])
+	for _, s := range series {
+		if len(s) < n {
+			n = len(s)
+		}
+	}
+	if n < window {
+		return 0
+	}
+	var sum float64
+	var cnt int
+	alloc := make([]float64, len(series))
+	for start := 0; start+window <= n; start += window {
+		for i, s := range series {
+			var a float64
+			for j := start; j < start+window; j++ {
+				a += s[j]
+			}
+			alloc[i] = a
+		}
+		sum += JainIndex(alloc)
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty inputs must yield 0")
+	}
+	if s := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Median(xs); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal allocation: %v", j)
+	}
+	if j := JainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("single hog over 4: %v, want 0.25", j)
+	}
+}
+
+// Property: Jain's index lies in [1/n, 1] for positive allocations.
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(xs []uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		alloc := make([]float64, len(xs))
+		for i, x := range xs {
+			alloc[i] = float64(x) + 1
+		}
+		j := JainIndex(alloc)
+		n := float64(len(alloc))
+		return j >= 1/n-1e-12 && j <= 1+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAndFracAtLeast(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	cdf := CDF(xs)
+	if cdf[0].X != 1 || cdf[2].X != 3 || cdf[2].Frac != 1 {
+		t.Fatalf("cdf = %v", cdf)
+	}
+	if f := FracAtLeast(xs, 2); math.Abs(f-2.0/3) > 1e-12 {
+		t.Fatalf("frac >= 2: %v", f)
+	}
+}
+
+func TestConvergenceTime(t *testing.T) {
+	// Converges at t=3: within ±25% of 50 from there on.
+	series := []float64{10, 20, 90, 50, 45, 55, 50, 48, 52, 50, 50}
+	if c := ConvergenceTime(series, 50, 5, 0.25); c != 3 {
+		t.Fatalf("convergence = %v, want 3", c)
+	}
+	if c := ConvergenceTime([]float64{1, 1, 1}, 50, 5, 0.25); c != -1 {
+		t.Fatalf("non-convergent series gave %v", c)
+	}
+}
+
+func TestWindowedJain(t *testing.T) {
+	// Two flows alternating 0/10 are unfair at scale 1 but fair at scale 2.
+	a := []float64{10, 0, 10, 0, 10, 0, 10, 0}
+	b := []float64{0, 10, 0, 10, 0, 10, 0, 10}
+	short := WindowedJain([][]float64{a, b}, 1)
+	long := WindowedJain([][]float64{a, b}, 2)
+	if short >= 0.6 {
+		t.Fatalf("alternating flows fair at scale 1: %v", short)
+	}
+	if long < 0.99 {
+		t.Fatalf("alternating flows unfair at scale 2: %v", long)
+	}
+}

@@ -1,0 +1,116 @@
+package netem
+
+import "math"
+
+// CoDel implements the Controlled Delay AQM (Nichols & Jacobson, ACM Queue
+// 2012), the algorithm behind the Linux codel qdisc referenced in §4.4.1.
+//
+// CoDel measures each packet's sojourn time at dequeue. When sojourn stays
+// above Target for at least Interval, CoDel enters a dropping state and
+// drops packets at increasing frequency (the control law spaces drops by
+// Interval/sqrt(count)) until sojourn falls below Target.
+type CoDel struct {
+	q fifo
+	// Target is the acceptable standing queue delay (default 5 ms).
+	Target float64
+	// Interval is the sliding-window width (default 100 ms).
+	Interval float64
+	// CapBytes bounds the physical queue (CoDel still needs a hard limit);
+	// negative means unlimited.
+	CapBytes int
+
+	drops      int64
+	dropping   bool
+	firstAbove float64 // time at which dropping may begin; 0 = sojourn not above target
+	dropNext   float64 // time of next scheduled drop while dropping
+	dropCount  int     // drops since entering dropping state
+}
+
+// NewCoDel returns a CoDel queue with the standard 5 ms / 100 ms parameters
+// and the given physical byte capacity (negative = unlimited).
+func NewCoDel(capBytes int) *CoDel {
+	return &CoDel{Target: 0.005, Interval: 0.100, CapBytes: capBytes}
+}
+
+// Enqueue implements Queue.
+func (c *CoDel) Enqueue(p *Packet, now float64) bool {
+	if c.q.count > 0 && c.CapBytes >= 0 && c.q.bytes+p.Size > c.CapBytes {
+		c.drops++
+		return false
+	}
+	p.Enq = now
+	c.q.push(p)
+	return true
+}
+
+// shouldDrop applies the sojourn-time test to packet p at time now.
+func (c *CoDel) shouldDrop(p *Packet, now float64) bool {
+	sojourn := now - p.Enq
+	if sojourn < c.Target || c.q.bytes < 2*1500 {
+		// Below target (or queue nearly empty): leave the
+		// dropping-eligibility window.
+		c.firstAbove = 0
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now + c.Interval
+		return false
+	}
+	return now >= c.firstAbove
+}
+
+// Dequeue implements Queue. It may drop packets internally and returns the
+// first surviving packet (or nil).
+func (c *CoDel) Dequeue(now float64) *Packet {
+	p := c.q.pop()
+	if p == nil {
+		c.dropping = false
+		return nil
+	}
+	if c.dropping {
+		if !c.shouldDrop(p, now) {
+			c.dropping = false
+			return p
+		}
+		for now >= c.dropNext && c.dropping {
+			c.drops++
+			c.dropCount++
+			p = c.q.pop()
+			if p == nil {
+				c.dropping = false
+				return nil
+			}
+			if !c.shouldDrop(p, now) {
+				c.dropping = false
+				return p
+			}
+			c.dropNext += c.Interval / math.Sqrt(float64(c.dropCount))
+		}
+		return p
+	}
+	if c.shouldDrop(p, now) {
+		// Enter dropping state: drop this packet and arm the control law.
+		c.drops++
+		p2 := c.q.pop()
+		c.dropping = true
+		// Resume from the previous drop frequency if we re-enter quickly
+		// (the "count decay" refinement from the reference pseudocode).
+		if c.dropCount > 2 && now-c.dropNext < 8*c.Interval {
+			c.dropCount -= 2
+		} else {
+			c.dropCount = 1
+		}
+		c.dropNext = now + c.Interval/math.Sqrt(float64(c.dropCount))
+		return p2
+	}
+	return p
+}
+
+// Len implements Queue.
+func (c *CoDel) Len() int { return c.q.count }
+
+// Bytes implements Queue.
+func (c *CoDel) Bytes() int { return c.q.bytes }
+
+// Dropped implements Queue.
+func (c *CoDel) Dropped() int64 { return c.drops }

@@ -1,0 +1,110 @@
+package netem
+
+import (
+	"math/rand"
+
+	"pcc/internal/sim"
+)
+
+// Dumbbell is the topology used by every experiment in the paper: n senders
+// share one bottleneck link toward their receivers. Per-flow access
+// propagation delays model heterogeneous RTTs (§4.1.5); the acknowledgment
+// path is uncongested but may have its own propagation delay and random
+// loss (§4.1.4 injects loss "on both forward and backward paths").
+//
+// All propagation delay lives in the per-flow forward/reverse delays; the
+// bottleneck link contributes only queueing plus serialization.
+type Dumbbell struct {
+	Eng        *sim.Engine
+	Bottleneck *Link
+
+	flows map[int]*dumbbellFlow
+}
+
+type dumbbellFlow struct {
+	fwdDelay float64
+	revDelay float64
+	revLoss  float64
+	rng      *rand.Rand
+	dataSink func(*Packet)
+	ackSink  func(*Packet)
+}
+
+// NewDumbbell builds a dumbbell with the given bottleneck rate, queue, and
+// wire loss. The loss rng is derived from seeds.
+func NewDumbbell(eng *sim.Engine, q Queue, rateBps, lossRate float64, seeds *sim.Seeds) *Dumbbell {
+	d := &Dumbbell{Eng: eng, flows: map[int]*dumbbellFlow{}}
+	d.Bottleneck = NewLink(eng, q, rateBps, 0, lossRate, seeds.NextRand())
+	d.Bottleneck.Sink = d.deliverData
+	return d
+}
+
+// FlowConfig describes one flow's path through the dumbbell.
+type FlowConfig struct {
+	// FwdDelay is the sender→bottleneck propagation delay (seconds).
+	FwdDelay float64
+	// RevDelay is the receiver→sender propagation delay (seconds).
+	RevDelay float64
+	// RevLoss is the Bernoulli loss probability on the ACK path.
+	RevLoss float64
+}
+
+// SymmetricRTT returns a FlowConfig splitting rtt evenly between the two
+// directions with no reverse loss.
+func SymmetricRTT(rtt float64) FlowConfig {
+	return FlowConfig{FwdDelay: rtt / 2, RevDelay: rtt / 2}
+}
+
+// AddFlow registers flow id with its path configuration and delivery
+// callbacks. dataSink receives data packets at the receiver; ackSink
+// receives ACKs back at the sender.
+func (d *Dumbbell) AddFlow(id int, cfg FlowConfig, seeds *sim.Seeds, dataSink, ackSink func(*Packet)) {
+	d.flows[id] = &dumbbellFlow{
+		fwdDelay: cfg.FwdDelay,
+		revDelay: cfg.RevDelay,
+		revLoss:  cfg.RevLoss,
+		rng:      seeds.NextRand(),
+		dataSink: dataSink,
+		ackSink:  ackSink,
+	}
+}
+
+// SetFlowDelays changes a flow's propagation delays at runtime (used by the
+// rapidly-changing-network experiment).
+func (d *Dumbbell) SetFlowDelays(id int, fwd, rev float64) {
+	f := d.flows[id]
+	f.fwdDelay = fwd
+	f.revDelay = rev
+}
+
+// SendData injects a data packet at flow p.Flow's sender.
+func (d *Dumbbell) SendData(p *Packet) {
+	f := d.flows[p.Flow]
+	if f == nil {
+		panic("netem: SendData for unregistered flow")
+	}
+	d.Eng.After(f.fwdDelay, func() { d.Bottleneck.Send(p) })
+}
+
+// deliverData hands a packet emerging from the bottleneck to its receiver.
+func (d *Dumbbell) deliverData(p *Packet) {
+	f := d.flows[p.Flow]
+	if f == nil || f.dataSink == nil {
+		return
+	}
+	f.dataSink(p)
+}
+
+// SendAck injects an ACK at flow p.Flow's receiver; it traverses the
+// uncongested reverse path, subject to reverse loss.
+func (d *Dumbbell) SendAck(p *Packet) {
+	f := d.flows[p.Flow]
+	if f == nil {
+		panic("netem: SendAck for unregistered flow")
+	}
+	if f.revLoss > 0 && f.rng.Float64() < f.revLoss {
+		return
+	}
+	sink := f.ackSink
+	d.Eng.After(f.revDelay, func() { sink(p) })
+}

@@ -1,0 +1,169 @@
+package netem
+
+// FQ implements per-flow fair queueing with a Deficit Round Robin scheduler
+// (Shreedhar & Varghese, SIGCOMM '95). Each flow gets its own child queue —
+// either a plain drop-tail FIFO ("bufferbloat" when the cap is huge) or a
+// CoDel instance (the fq_codel configuration) — and the scheduler serves
+// active flows in round-robin order with a byte deficit counter, giving
+// long-term per-flow throughput fairness regardless of how aggressive each
+// flow's congestion controller is.
+//
+// FQ is the isolation substrate assumed by §2.4/§4.4 for heterogeneous
+// utility functions.
+type FQ struct {
+	// NewChild constructs the per-flow child queue; defaults to a drop-tail
+	// queue of PerFlowBytes.
+	NewChild func() Queue
+	// Quantum is the DRR quantum in bytes (default 1500: one MSS per round).
+	Quantum int
+	// PerFlowBytes caps each default child queue (ignored when NewChild is
+	// set). Negative = unlimited.
+	PerFlowBytes int
+
+	flows  map[int]*fqFlow
+	active []*fqFlow // round-robin list of flows with queued packets
+	next   int       // scheduler position in active
+	bytes  int
+	count  int
+}
+
+type fqFlow struct {
+	id      int
+	q       Queue
+	deficit int
+	active  bool
+}
+
+// NewFQ returns a fair queue whose per-flow child queues hold at most
+// perFlowBytes bytes each (negative = unlimited).
+func NewFQ(perFlowBytes int) *FQ {
+	return &FQ{Quantum: 1500, PerFlowBytes: perFlowBytes, flows: map[int]*fqFlow{}}
+}
+
+// NewFQCoDel returns fair queueing with a CoDel child per flow (fq_codel).
+func NewFQCoDel(perFlowBytes int) *FQ {
+	fq := NewFQ(perFlowBytes)
+	fq.NewChild = func() Queue { return NewCoDel(perFlowBytes) }
+	return fq
+}
+
+func (f *FQ) flow(id int) *fqFlow {
+	fl := f.flows[id]
+	if fl == nil {
+		var child Queue
+		if f.NewChild != nil {
+			child = f.NewChild()
+		} else {
+			child = NewDropTail(f.PerFlowBytes)
+		}
+		fl = &fqFlow{id: id, q: child}
+		f.flows[id] = fl
+	}
+	return fl
+}
+
+// Enqueue implements Queue.
+func (f *FQ) Enqueue(p *Packet, now float64) bool {
+	fl := f.flow(p.Flow)
+	if !fl.q.Enqueue(p, now) {
+		// The child queue counted the drop; Dropped() aggregates children.
+		return false
+	}
+	f.bytes += p.Size
+	f.count++
+	if !fl.active {
+		fl.active = true
+		fl.deficit = 0
+		f.active = append(f.active, fl)
+	}
+	return true
+}
+
+// Dequeue implements Queue, serving active flows by deficit round robin.
+func (f *FQ) Dequeue(now float64) *Packet {
+	for len(f.active) > 0 {
+		if f.next >= len(f.active) {
+			f.next = 0
+		}
+		fl := f.active[f.next]
+		if fl.q.Len() == 0 {
+			// Child drained (possibly via internal AQM drops): deactivate.
+			f.deactivate(f.next)
+			continue
+		}
+		head := f.peekChild(fl)
+		if head == nil {
+			f.deactivate(f.next)
+			continue
+		}
+		if fl.deficit < head.Size {
+			fl.deficit += f.Quantum
+			f.next++
+			continue
+		}
+		before := fl.q.Bytes()
+		p := fl.q.Dequeue(now)
+		// Account for packets the child's AQM dropped internally plus the
+		// packet actually handed to us.
+		f.bytes -= before - fl.q.Bytes()
+		f.count = f.recount()
+		if p == nil {
+			f.deactivate(f.next)
+			continue
+		}
+		fl.deficit -= p.Size
+		if fl.q.Len() == 0 {
+			f.deactivate(f.next)
+		}
+		return p
+	}
+	return nil
+}
+
+// peekChild returns the size-bearing head packet of a child queue. Child
+// queues are our own implementations, so we can type-switch to peek without
+// extending the Queue interface.
+func (f *FQ) peekChild(fl *fqFlow) *Packet {
+	switch q := fl.q.(type) {
+	case *DropTail:
+		return q.peek()
+	case *CoDel:
+		return q.q.peek()
+	default:
+		// Unknown child type: fall back to a conservative fixed-size
+		// assumption so DRR still makes progress.
+		return &Packet{Size: f.Quantum}
+	}
+}
+
+func (f *FQ) deactivate(i int) {
+	fl := f.active[i]
+	fl.active = false
+	f.active = append(f.active[:i], f.active[i+1:]...)
+	if f.next > i {
+		f.next--
+	}
+}
+
+func (f *FQ) recount() int {
+	n := 0
+	for _, fl := range f.flows {
+		n += fl.q.Len()
+	}
+	return n
+}
+
+// Len implements Queue.
+func (f *FQ) Len() int { return f.count }
+
+// Bytes implements Queue.
+func (f *FQ) Bytes() int { return f.bytes }
+
+// Dropped implements Queue, summing scheduler-level and child-level drops.
+func (f *FQ) Dropped() int64 {
+	var n int64
+	for _, fl := range f.flows {
+		n += fl.q.Dropped()
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+package netem
+
+import (
+	"math/rand"
+
+	"pcc/internal/sim"
+)
+
+// Units helpers. All rates in this repository are bytes per second.
+
+// Mbps converts megabits per second to bytes per second.
+func Mbps(m float64) float64 { return m * 1e6 / 8 }
+
+// ToMbps converts bytes per second to megabits per second.
+func ToMbps(bps float64) float64 { return bps * 8 / 1e6 }
+
+// KB is 1000 bytes (the paper specifies buffer sizes in KB).
+const KB = 1000
+
+// Link models a store-and-forward link: a queue, a serialization rate, a
+// propagation delay, and an optional Bernoulli random-loss process applied
+// after transmission (wire loss, not queue drop). Delivery is via the Sink
+// callback.
+//
+// Rate, Delay and LossRate may be changed at any time (the rapidly-changing
+// network of §4.1.7); changes apply from the next packet transmission.
+type Link struct {
+	Eng   *sim.Engine
+	Queue Queue
+	// Rate is the serialization rate, bytes/s.
+	Rate float64
+	// Delay is the one-way propagation delay, seconds.
+	Delay float64
+	// LossRate is the Bernoulli per-packet wire loss probability.
+	LossRate float64
+	// Sink receives packets that survive transmission and loss.
+	Sink func(*Packet)
+
+	rng       *rand.Rand
+	busy      bool
+	delivered int64
+	lost      int64
+	busyUntil float64
+}
+
+// NewLink builds a link with the given queue and parameters. The rng drives
+// the loss process only; a nil rng disables random loss regardless of
+// LossRate.
+func NewLink(eng *sim.Engine, q Queue, rateBps, delay, lossRate float64, rng *rand.Rand) *Link {
+	return &Link{Eng: eng, Queue: q, Rate: rateBps, Delay: delay, LossRate: lossRate, rng: rng}
+}
+
+// Send offers a packet to the link. Packets rejected by the queue are
+// dropped silently (the queue counts them).
+func (l *Link) Send(p *Packet) {
+	if !l.Queue.Enqueue(p, l.Eng.Now()) {
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// transmitNext pulls the next packet from the queue and schedules its
+// serialization completion.
+func (l *Link) transmitNext() {
+	p := l.Queue.Dequeue(l.Eng.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := float64(p.Size) / l.Rate
+	l.busyUntil = l.Eng.Now() + txTime
+	l.Eng.After(txTime, func() {
+		l.finish(p)
+	})
+}
+
+func (l *Link) finish(p *Packet) {
+	if l.LossRate > 0 && l.rng != nil && l.rng.Float64() < l.LossRate {
+		l.lost++
+	} else {
+		l.delivered++
+		sink := l.Sink
+		l.Eng.After(l.Delay, func() { sink(p) })
+	}
+	l.transmitNext()
+}
+
+// Delivered returns the number of packets delivered to the sink.
+func (l *Link) Delivered() int64 { return l.delivered }
+
+// WireLost returns the number of packets lost to the random-loss process.
+func (l *Link) WireLost() int64 { return l.lost }
+
+// Utilization returns the fraction of [since, now] the link spent
+// transmitting, assuming the caller tracked `since` themselves; exposed as a
+// simple helper for experiments that need instantaneous busy state.
+func (l *Link) Busy() bool { return l.busy }

@@ -1,0 +1,121 @@
+package netem
+
+// Queue is a router queue. Implementations decide drop policy at enqueue
+// (drop-tail) and/or dequeue (CoDel) time. Queues are driven by a Link.
+type Queue interface {
+	// Enqueue offers p to the queue at time now. It reports whether the
+	// packet was accepted; a false return means the packet was dropped.
+	Enqueue(p *Packet, now float64) bool
+	// Dequeue removes and returns the next packet to transmit, or nil if
+	// the queue is empty (an AQM may drop internally and still return the
+	// next surviving packet).
+	Dequeue(now float64) *Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes.
+	Bytes() int
+	// Dropped returns the cumulative number of packets dropped by the queue.
+	Dropped() int64
+}
+
+// fifo is the common packet ring shared by queue implementations. The ring
+// grows geometrically and never shrinks; queues in these simulations reach a
+// steady-state size quickly, so this avoids per-packet allocation.
+type fifo struct {
+	buf   []*Packet
+	head  int
+	count int
+	bytes int
+}
+
+func (f *fifo) push(p *Packet) {
+	if f.count == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.count)%len(f.buf)] = p
+	f.count++
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *Packet {
+	if f.count == 0 {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
+	f.bytes -= p.Size
+	return p
+}
+
+func (f *fifo) peek() *Packet {
+	if f.count == 0 {
+		return nil
+	}
+	return f.buf[f.head]
+}
+
+func (f *fifo) grow() {
+	n := len(f.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]*Packet, n)
+	for i := 0; i < f.count; i++ {
+		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = nb
+	f.head = 0
+}
+
+// DropTail is a FIFO queue with a byte capacity limit (and an optional packet
+// limit). It models the shallow- and deep-buffered routers of §4.1.3–§4.1.6
+// and, with a huge capacity, the "bufferbloat" configuration of §4.4.1.
+type DropTail struct {
+	fifo
+	// CapBytes is the capacity in bytes. Zero means "one packet" is still
+	// admitted when empty (a link needs at least one packet in flight to
+	// make progress); negative means unlimited.
+	CapBytes int
+	// CapPackets optionally limits the number of packets; <=0 disables it.
+	CapPackets int
+	drops      int64
+}
+
+// NewDropTail returns a drop-tail queue holding at most capBytes bytes.
+// capBytes < 0 means unlimited.
+func NewDropTail(capBytes int) *DropTail {
+	return &DropTail{CapBytes: capBytes}
+}
+
+// Enqueue implements Queue. A packet is accepted if the queue is empty (so a
+// single-packet buffer is representable with a tiny CapBytes) or if it fits
+// within the byte and packet caps.
+func (q *DropTail) Enqueue(p *Packet, now float64) bool {
+	if q.count > 0 {
+		if q.CapBytes >= 0 && q.bytes+p.Size > q.CapBytes {
+			q.drops++
+			return false
+		}
+		if q.CapPackets > 0 && q.count+1 > q.CapPackets {
+			q.drops++
+			return false
+		}
+	}
+	p.Enq = now
+	q.push(p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue(now float64) *Packet { return q.pop() }
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return q.count }
+
+// Bytes implements Queue.
+func (q *DropTail) Bytes() int { return q.bytes }
+
+// Dropped implements Queue.
+func (q *DropTail) Dropped() int64 { return q.drops }

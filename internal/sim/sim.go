@@ -1,0 +1,201 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of timestamped events. Events
+// scheduled for the same instant fire in the order they were scheduled
+// (FIFO tie-breaking via a monotonically increasing sequence number), which
+// makes every simulation in this repository bit-reproducible for a given
+// set of RNG seeds.
+//
+// Time is a float64 number of seconds since the start of the simulation.
+// Sub-nanosecond precision is irrelevant at the packet timescales simulated
+// here; float64 keeps the arithmetic in experiment code simple.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated instant, in seconds since simulation start.
+type Time = float64
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled. A nil Timer is inert: Stop and Active are safe to call.
+type Timer struct {
+	ev  *Event
+	eng *Engine
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
+}
+
+// When returns the absolute simulated time at which the timer fires.
+// It is meaningful only while Active.
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return math.Inf(1)
+	}
+	return t.ev.at
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine. Engine is not safe for concurrent use: a simulation is a
+// single-threaded computation by design.
+type Engine struct {
+	now     Time
+	nextSeq uint64
+	events  eventHeap
+	nRun    uint64
+	halted  bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far. It is exposed for
+// tests and benchmarks.
+func (e *Engine) Processed() uint64 { return e.nRun }
+
+// At schedules fn at absolute time at. Scheduling in the past panics: it is
+// always a bug in the caller, and silently reordering time would corrupt
+// results.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{at: at, seq: e.nextSeq, fn: fn, idx: -1}
+	e.nextSeq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev, eng: e}
+}
+
+// After schedules fn delay seconds from now. Negative delays are clamped to
+// zero so that floating-point jitter in callers cannot panic the engine.
+func (e *Engine) After(delay float64, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending returns the number of live queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// step executes the earliest event. It reports false when no live event
+// remains.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.nRun++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to exactly deadline. Events scheduled after the deadline remain
+// queued, so simulations can be resumed with further RunUntil calls.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted {
+		// Peek at the earliest live event.
+		var next *Event
+		for len(e.events) > 0 {
+			if e.events[0].dead {
+				heap.Pop(&e.events)
+				continue
+			}
+			next = e.events[0]
+			break
+		}
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,37 @@
+package tcp
+
+import (
+	"fmt"
+
+	"pcc/internal/cc"
+)
+
+// New returns a fresh instance of the named TCP variant. Known names:
+// newreno, cubic, illinois, hybla, vegas, bic, westwood. The "pacing"
+// baseline of §4.1.6 is New Reno with the harness's Paced option, so it is
+// constructed by the caller, not here.
+func New(name string) (cc.WindowAlgo, error) {
+	switch name {
+	case "newreno", "reno":
+		return NewReno(), nil
+	case "cubic":
+		return NewCubic(), nil
+	case "illinois":
+		return NewIllinois(), nil
+	case "hybla":
+		return NewHybla(), nil
+	case "vegas":
+		return NewVegas(), nil
+	case "bic":
+		return NewBic(), nil
+	case "westwood":
+		return NewWestwood(), nil
+	default:
+		return nil, fmt.Errorf("tcp: unknown variant %q", name)
+	}
+}
+
+// Variants lists every implemented TCP variant name.
+func Variants() []string {
+	return []string{"newreno", "cubic", "illinois", "hybla", "vegas", "bic", "westwood"}
+}

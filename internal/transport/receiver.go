@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Receiver reassembles one flow arriving over UDP and acknowledges every
+// data packet with a cumulative ACK plus up to 32 received ranges — the
+// SACK feedback PCC's monitor consumes. It requires no congestion-control
+// intelligence (§2.3: "No receiver change").
+type Receiver struct {
+	conn *net.UDPConn
+	out  io.Writer
+
+	mu        sync.Mutex
+	cumAck    int64
+	ooo       map[int64][]byte // out-of-order payloads awaiting reassembly
+	ranges    []AckRange       // received runs above cumAck
+	total     int64            // flow length in packets, from fin; -1 unknown
+	uniq      int64
+	bytesOut  int64
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewReceiver wraps a bound UDP socket. Payloads are written to out in
+// order. Call Run to start.
+func NewReceiver(conn *net.UDPConn, out io.Writer) *Receiver {
+	return &Receiver{conn: conn, out: out, ooo: map[int64][]byte{}, total: -1, done: make(chan struct{})}
+}
+
+// Done is closed when the whole flow (announced by the sender's fin) has
+// been received and written out.
+func (r *Receiver) Done() <-chan struct{} { return r.done }
+
+// UniquePackets returns the count of distinct data packets received.
+func (r *Receiver) UniquePackets() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.uniq
+}
+
+// BytesWritten returns the number of in-order payload bytes delivered.
+func (r *Receiver) BytesWritten() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytesOut
+}
+
+// Run processes packets until the socket is closed or the flow completes.
+func (r *Receiver) Run() error {
+	buf := make([]byte, 65536)
+	ackBuf := make([]byte, 1024)
+	for {
+		n, addr, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-r.done:
+				return nil
+			default:
+			}
+			return err
+		}
+		if n == 0 {
+			continue
+		}
+		switch buf[0] {
+		case typeData:
+			h, payload, err := decodeData(buf[:n])
+			if err != nil {
+				continue
+			}
+			r.onData(h, payload)
+			r.sendAck(addr, ackBuf, h)
+		case typeFin:
+			_, total, err := decodeFin(buf[:n])
+			if err != nil {
+				continue
+			}
+			r.mu.Lock()
+			r.total = total
+			complete := r.cumAck >= r.total
+			r.mu.Unlock()
+			if complete {
+				r.finish()
+				return nil
+			}
+		}
+		r.mu.Lock()
+		complete := r.total >= 0 && r.cumAck >= r.total
+		r.mu.Unlock()
+		if complete {
+			r.finish()
+			return nil
+		}
+	}
+}
+
+func (r *Receiver) finish() {
+	r.closeOnce.Do(func() { close(r.done) })
+}
+
+// onData ingests one data packet: in-order payloads stream to the writer,
+// out-of-order ones wait in the reassembly map.
+func (r *Receiver) onData(h DataHeader, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case h.Seq < r.cumAck:
+		return // duplicate
+	case h.Seq == r.cumAck:
+		r.uniq++
+		r.writeLocked(payload)
+		r.cumAck++
+		for {
+			p, ok := r.ooo[r.cumAck]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.cumAck)
+			r.writeLocked(p)
+			r.cumAck++
+		}
+		r.trimRanges()
+	default:
+		if _, dup := r.ooo[h.Seq]; dup {
+			return
+		}
+		r.uniq++
+		r.ooo[h.Seq] = append([]byte(nil), payload...)
+		r.addRange(h.Seq)
+	}
+}
+
+func (r *Receiver) writeLocked(p []byte) {
+	if r.out != nil {
+		r.out.Write(p)
+	}
+	r.bytesOut += int64(len(p))
+}
+
+// addRange merges seq into the sorted out-of-order range list.
+func (r *Receiver) addRange(seq int64) {
+	for i := range r.ranges {
+		rg := &r.ranges[i]
+		switch {
+		case seq >= rg.Start && seq <= rg.End:
+			return
+		case seq == rg.End+1:
+			rg.End++
+			if i+1 < len(r.ranges) && r.ranges[i+1].Start == rg.End+1 {
+				rg.End = r.ranges[i+1].End
+				r.ranges = append(r.ranges[:i+1], r.ranges[i+2:]...)
+			}
+			return
+		case seq == rg.Start-1:
+			rg.Start--
+			return
+		case seq < rg.Start:
+			r.ranges = append(r.ranges, AckRange{})
+			copy(r.ranges[i+1:], r.ranges[i:])
+			r.ranges[i] = AckRange{Start: seq, End: seq}
+			return
+		}
+	}
+	r.ranges = append(r.ranges, AckRange{Start: seq, End: seq})
+}
+
+// trimRanges drops ranges now covered by cumAck.
+func (r *Receiver) trimRanges() {
+	i := 0
+	for i < len(r.ranges) && r.ranges[i].End < r.cumAck {
+		i++
+	}
+	r.ranges = r.ranges[i:]
+}
+
+func (r *Receiver) sendAck(addr *net.UDPAddr, buf []byte, h DataHeader) {
+	r.mu.Lock()
+	a := Ack{
+		FlowID:    h.FlowID,
+		CumAck:    r.cumAck,
+		Ranges:    append([]AckRange(nil), r.ranges...),
+		EchoSeq:   h.Seq,
+		EchoNanos: h.SentNanos,
+	}
+	r.mu.Unlock()
+	n := encodeAck(buf, a)
+	r.conn.WriteToUDP(buf[:n], addr)
+}

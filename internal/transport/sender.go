@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pcc/internal/core"
+)
+
+// Sender transmits a byte stream over UDP, paced at the rate the PCC
+// controller chooses. It is the real-network counterpart of the simulator's
+// RateSender: the identical core.PCC state machine drives both (§2.3 —
+// deployment needs only a sender-side change).
+type Sender struct {
+	conn   *net.UDPConn
+	peer   *net.UDPAddr
+	flowID uint32
+
+	mu    sync.Mutex
+	pcc   *core.PCC
+	start time.Time
+
+	payloads [][]byte // chunked flow contents
+	sacked   []bool
+	lost     []bool
+	rtxQ     []int64
+	cumAck   int64
+	sackHigh int64
+	lossScan int64
+	nextSeq  int64
+
+	sent int64
+	rtx  int64
+
+	doneCh chan struct{}
+	once   sync.Once
+}
+
+// NewSender chunks the contents of r into packets and prepares a sender
+// with the given PCC configuration. The whole flow is buffered in memory —
+// these tools move files, like the paper's prototype.
+func NewSender(conn *net.UDPConn, peer *net.UDPAddr, cfg core.Config, r io.Reader) (*Sender, error) {
+	s := &Sender{
+		conn:   conn,
+		peer:   peer,
+		flowID: 1,
+		pcc:    core.New(cfg, nil),
+		doneCh: make(chan struct{}),
+	}
+	buf := make([]byte, MSS)
+	for {
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			s.payloads = append(s.payloads, append([]byte(nil), buf[:n]...))
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.sacked = make([]bool, len(s.payloads))
+	s.lost = make([]bool, len(s.payloads))
+	return s, nil
+}
+
+// Done is closed when every packet has been acknowledged.
+func (s *Sender) Done() <-chan struct{} { return s.doneCh }
+
+// Stats returns (packets sent, retransmissions).
+func (s *Sender) Stats() (sent, rtx int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent, s.rtx
+}
+
+// Rate returns the controller's current rate in bytes/s.
+func (s *Sender) Rate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pcc.Rate(s.now())
+}
+
+func (s *Sender) now() float64 { return time.Since(s.start).Seconds() }
+
+// Run transmits until the flow is fully acknowledged or the socket fails.
+func (s *Sender) Run() error {
+	s.start = time.Now()
+	s.mu.Lock()
+	s.pcc.Start(0)
+	s.mu.Unlock()
+
+	go s.ackLoop()
+
+	finBuf := make([]byte, 16)
+	pktBuf := make([]byte, dataHeaderLen+MSS)
+	for {
+		select {
+		case <-s.doneCh:
+			n := encodeFin(finBuf, s.flowID, int64(len(s.payloads)))
+			s.conn.WriteToUDP(finBuf[:n], s.peer)
+			return nil
+		default:
+		}
+
+		s.mu.Lock()
+		seq, payload := s.pickNextLocked()
+		var interval time.Duration
+		if payload != nil {
+			now := s.now()
+			rate := s.pcc.Rate(now)
+			if rate < 2*MSS {
+				rate = 2 * MSS
+			}
+			nanos := time.Since(s.start).Nanoseconds()
+			n := encodeData(pktBuf, s.flowID, seq, nanos, payload)
+			s.pcc.OnSend(seq, MSS, now)
+			s.sent++
+			s.mu.Unlock()
+			if _, err := s.conn.WriteToUDP(pktBuf[:n], s.peer); err != nil {
+				return err
+			}
+			interval = time.Duration(float64(MSS) / rate * 1e9)
+		} else {
+			// Everything sent; wait for stragglers or retransmissions.
+			s.mu.Unlock()
+			interval = 2 * time.Millisecond
+			s.scheduleTailCheck()
+		}
+		time.Sleep(interval)
+	}
+}
+
+// pickNextLocked returns the next retransmission or fresh packet.
+func (s *Sender) pickNextLocked() (int64, []byte) {
+	for len(s.rtxQ) > 0 {
+		seq := s.rtxQ[0]
+		s.rtxQ = s.rtxQ[1:]
+		if !s.sacked[seq] && s.lost[seq] {
+			s.lost[seq] = false
+			s.rtx++
+			return seq, s.payloads[seq]
+		}
+	}
+	if s.nextSeq < int64(len(s.payloads)) {
+		seq := s.nextSeq
+		s.nextSeq++
+		return seq, s.payloads[seq]
+	}
+	return 0, nil
+}
+
+// scheduleTailCheck re-marks long-unacknowledged packets as lost when the
+// stream has drained (tail loss).
+func (s *Sender) scheduleTailCheck() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rto := 2 * s.pcc.SRTT()
+	if rto < 0.05 {
+		rto = 0.05
+	}
+	_ = rto
+	for seq := s.cumAck; seq < s.nextSeq; seq++ {
+		if !s.sacked[seq] && !s.lost[seq] {
+			s.lost[seq] = true
+			s.rtxQ = append(s.rtxQ, seq)
+		}
+	}
+}
+
+// ackLoop ingests acknowledgments.
+func (s *Sender) ackLoop() {
+	buf := make([]byte, 2048)
+	for {
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n == 0 || buf[0] != typeAck {
+			continue
+		}
+		a, err := decodeAck(buf[:n])
+		if err != nil {
+			continue
+		}
+		s.onAck(a)
+	}
+}
+
+func (s *Sender) onAck(a Ack) {
+	s.mu.Lock()
+	now := s.now()
+
+	ackOne := func(seq int64, rtt float64) {
+		if seq < 0 || seq >= int64(len(s.sacked)) || s.sacked[seq] {
+			return
+		}
+		s.sacked[seq] = true
+		s.pcc.OnAck(seq, rtt, now)
+	}
+
+	if a.EchoSeq >= 0 && a.EchoSeq < int64(len(s.sacked)) {
+		rtt := float64(time.Since(s.start).Nanoseconds()-a.EchoNanos) / 1e9
+		ackOne(a.EchoSeq, rtt)
+	}
+	for ; s.cumAck < a.CumAck && s.cumAck < int64(len(s.sacked)); s.cumAck++ {
+		ackOne(s.cumAck, 0)
+	}
+	for _, rg := range a.Ranges {
+		for seq := rg.Start; seq <= rg.End && seq < int64(len(s.sacked)); seq++ {
+			ackOne(seq, 0)
+		}
+		if rg.End > s.sackHigh {
+			s.sackHigh = rg.End
+		}
+	}
+	if a.CumAck-1 > s.sackHigh {
+		s.sackHigh = a.CumAck - 1
+	}
+
+	// SACK-gap loss detection, one pass per sequence.
+	limit := s.sackHigh - 3
+	for ; s.lossScan <= limit && s.lossScan < int64(len(s.sacked)); s.lossScan++ {
+		seq := s.lossScan
+		if !s.sacked[seq] && !s.lost[seq] {
+			s.lost[seq] = true
+			s.rtxQ = append(s.rtxQ, seq)
+		}
+	}
+
+	complete := s.cumAck >= int64(len(s.payloads))
+	s.mu.Unlock()
+	if complete {
+		s.once.Do(func() { close(s.doneCh) })
+	}
+}

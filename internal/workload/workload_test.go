@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pcc/internal/netem"
+	"pcc/internal/sim"
+)
+
+func TestPoissonArrivalRate(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewSeeds(1).NextRand()
+	n := 0
+	PoissonArrivals(eng, rng, 10, 100, func(i int) { n++ })
+	eng.RunUntil(100)
+	// 10/s over 100 s → ~1000 arrivals; allow 3 sigma (~±95).
+	if n < 900 || n > 1100 {
+		t.Fatalf("arrivals = %d, want ~1000", n)
+	}
+}
+
+func TestPoissonStopsAtDeadline(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewSeeds(2).NextRand()
+	var last float64
+	PoissonArrivals(eng, rng, 100, 1, func(i int) { last = eng.Now() })
+	eng.RunUntil(10)
+	if last >= 1 {
+		t.Fatalf("arrival at %v past the stop time", last)
+	}
+}
+
+func TestPoissonZeroRateNoArrivals(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewSeeds(3).NextRand()
+	n := 0
+	PoissonArrivals(eng, rng, 0, 10, func(i int) { n++ })
+	eng.RunUntil(10)
+	if n != 0 {
+		t.Fatalf("zero-rate process produced %d arrivals", n)
+	}
+}
+
+func TestSampleInternetPathsSpansPaperDiversity(t *testing.T) {
+	paths := SampleInternetPaths(500, 42)
+	minBDP, maxBDP := math.Inf(1), 0.0
+	withLoss := 0
+	for _, p := range paths {
+		if p.RateMbps < 2 || p.RateMbps > 500 {
+			t.Fatalf("rate %v out of range", p.RateMbps)
+		}
+		if p.RTT < 0.01 || p.RTT > 0.4 {
+			t.Fatalf("rtt %v out of range", p.RTT)
+		}
+		bdp := netem.Mbps(p.RateMbps) * p.RTT
+		minBDP = math.Min(minBDP, bdp)
+		maxBDP = math.Max(maxBDP, bdp)
+		if p.Loss > 0 {
+			withLoss++
+		}
+		if p.BufBytes < 3000 {
+			t.Fatalf("buffer %d below floor", p.BufBytes)
+		}
+	}
+	// Paper: BDPs from 14.3 KB to 18 MB; the ensemble must span orders of
+	// magnitude.
+	if maxBDP/minBDP < 100 {
+		t.Fatalf("BDP diversity too narrow: %v..%v", minBDP, maxBDP)
+	}
+	if withLoss < 200 || withLoss > 400 {
+		t.Fatalf("lossy-path count %d, want ~60%% of 500", withLoss)
+	}
+}
+
+func TestSampleInternetPathsDeterministic(t *testing.T) {
+	a := SampleInternetPaths(10, 7)
+	b := SampleInternetPaths(10, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same ensemble")
+		}
+	}
+}
