@@ -227,6 +227,25 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// The Sequential/Parallel pair quantifies the worker-pool speedup on the
+// trial-heavy incast experiment (results are byte-identical either way; see
+// internal/exp/determinism_test.go). On an N-core machine the parallel run
+// should approach N times faster.
+func BenchmarkFig10IncastSequential(b *testing.B) {
+	exp.SetWorkers(1)
+	defer exp.SetWorkers(0)
+	for i := 0; i < b.N; i++ {
+		exp.RunFig10(benchScale, benchSeed)
+	}
+}
+
+func BenchmarkFig10IncastParallel(b *testing.B) {
+	b.ReportMetric(float64(exp.Workers()), "workers")
+	for i := 0; i < b.N; i++ {
+		exp.RunFig10(benchScale, benchSeed)
+	}
+}
+
 func BenchmarkTheoryConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep := exp.RunTheory(benchScale, benchSeed)

@@ -5,11 +5,15 @@
 //
 //	pccbench -exp fig7            # one experiment at default scale
 //	pccbench -exp all -scale 1.0  # every experiment at paper-duration scale
+//	pccbench -exp fig10 -par 8    # pin the worker pool to 8 goroutines
 //	pccbench -list
 //
 // Scale shortens experiment durations/trial counts proportionally (default
 // 0.2); shapes are preserved, absolute convergence detail improves with
-// scale. Seeds make every run reproducible.
+// scale. Seeds make every run reproducible: each experiment fans its trials
+// out across a worker pool (bounded by -par, the PCC_PAR environment
+// variable, or GOMAXPROCS, in that order) and produces byte-identical
+// tables at any worker count.
 package main
 
 import (
@@ -25,8 +29,13 @@ func main() {
 	id := flag.String("exp", "", "experiment id (figN, table1, loss50, theory) or 'all'")
 	scale := flag.Float64("scale", 0.2, "duration/trial scale in (0,1]; 1.0 = paper durations")
 	seed := flag.Int64("seed", 42, "root RNG seed")
+	par := flag.Int("par", 0, "worker goroutines per experiment (0 = auto: PCC_PAR env, then GOMAXPROCS; 1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	// Every driver fans its independent trials out over exp's worker pool;
+	// results are bit-identical at any worker count.
+	exp.SetWorkers(*par)
 
 	if *list || *id == "" {
 		fmt.Println("experiments:")

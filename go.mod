@@ -1,0 +1,3 @@
+module pcc
+
+go 1.24

@@ -31,19 +31,23 @@ type RateSender struct {
 	MinRate float64
 	// RTTHint seeds timers before the first RTT sample (default 0.1 s).
 	RTTHint float64
+	// Pool, when set, recycles packets: data packets are allocated from it
+	// and consumed ACKs are returned to it. It must belong to this sender's
+	// engine (pooling never crosses goroutines).
+	Pool *netem.PacketPool
 
-	window   []*pktState
-	head     int
-	index    map[int64]*pktState
+	win      seqWindow
 	nextSeq  int64
 	cumAck   int64
 	sackHigh int64
 	lossScan int64
 	rtxQ     []int64
 
-	sendTimer    *sim.Timer
-	tailTimer    *sim.Timer
+	sendTimer    sim.Timer
+	tailTimer    sim.Timer
 	tailDeadline float64
+	sendLoopFn   func()
+	onTailFn     func()
 
 	sentPkts int64
 	rtxPkts  int64
@@ -67,7 +71,7 @@ type RatePoint struct {
 
 // NewRateSender wires a rate-based algorithm to a path.
 func NewRateSender(eng *sim.Engine, flow int, algo RateAlgo, sendData func(*netem.Packet)) *RateSender {
-	return &RateSender{
+	s := &RateSender{
 		Eng:       eng,
 		Flow:      flow,
 		Algo:      algo,
@@ -76,9 +80,13 @@ func NewRateSender(eng *sim.Engine, flow int, algo RateAlgo, sendData func(*nete
 		DupThresh: 3,
 		MinRate:   2 * MSS,
 		RTTHint:   0.1,
-		index:     map[int64]*pktState{},
 		sackHigh:  -1,
 	}
+	// Bound once: the pacing and tail-loss loops reschedule themselves every
+	// packet, and a method value allocates a closure per use.
+	s.sendLoopFn = s.sendLoop
+	s.onTailFn = s.onTail
+	return s
 }
 
 // Start begins transmission.
@@ -136,7 +144,7 @@ func (s *RateSender) sendLoop() {
 		}
 	}
 	interval := MSS / r
-	s.sendTimer = s.Eng.After(interval, s.sendLoop)
+	s.Eng.Rearm(&s.sendTimer, interval, s.sendLoopFn)
 }
 
 func (s *RateSender) sendOne(now float64) {
@@ -144,7 +152,7 @@ func (s *RateSender) sendOne(now float64) {
 	for len(s.rtxQ) > 0 {
 		seq := s.rtxQ[0]
 		s.rtxQ = s.rtxQ[1:]
-		cand := s.index[seq]
+		cand := s.win.lookup(seq)
 		if cand != nil && cand.lost && !cand.sacked {
 			st = cand
 			st.lost = false
@@ -157,14 +165,13 @@ func (s *RateSender) sendOne(now float64) {
 		if s.FlowPackets > 0 && s.nextSeq >= s.FlowPackets {
 			return
 		}
-		st = &pktState{seq: s.nextSeq}
+		st = s.win.add(s.nextSeq)
 		s.nextSeq++
-		s.window = append(s.window, st)
-		s.index[st.seq] = st
 	}
 	s.sentPkts++
 	st.sentAt = now
-	p := &netem.Packet{Flow: s.Flow, Seq: st.seq, Size: MSS, Sent: now}
+	p := s.Pool.Get()
+	p.Flow, p.Seq, p.Size, p.Sent = s.Flow, st.seq, MSS, now
 	s.Algo.OnSend(st.seq, MSS, now)
 	s.SendData(p)
 	s.armTail()
@@ -200,7 +207,7 @@ func (s *RateSender) armTail() {
 		return
 	}
 	s.tailDeadline = s.Eng.Now() + s.tailDelay()
-	s.tailTimer = s.Eng.After(s.tailDelay(), s.onTail)
+	s.Eng.Rearm(&s.tailTimer, s.tailDelay(), s.onTailFn)
 }
 
 func (s *RateSender) onTail() {
@@ -211,12 +218,12 @@ func (s *RateSender) onTail() {
 	if now < s.tailDeadline {
 		// ACKs arrived since this timer was armed: sleep until the
 		// refreshed deadline.
-		s.tailTimer = s.Eng.After(s.tailDeadline-now, s.onTail)
+		s.Eng.Rearm(&s.tailTimer, s.tailDeadline-now, s.onTailFn)
 		return
 	}
 	rto := s.tailDelay()
-	for i := s.head; i < len(s.window); i++ {
-		st := s.window[i]
+	for i := s.win.head; i < len(s.win.entries); i++ {
+		st := s.win.entries[i]
 		// Only packets older than the tail delay are presumed lost;
 		// fresher ones may simply still be in flight.
 		if !st.sacked && !st.lost && now-st.sentAt > rto {
@@ -226,7 +233,7 @@ func (s *RateSender) onTail() {
 		}
 	}
 	if s.outstandingUnsacked() > 0 || s.hasData() {
-		s.tailTimer = s.Eng.After(s.tailDelay(), s.onTail)
+		s.Eng.Rearm(&s.tailTimer, s.tailDelay(), s.onTailFn)
 	}
 	// Pacing may have stopped on a fully-sent finite flow; resume for the
 	// queued retransmissions.
@@ -235,61 +242,39 @@ func (s *RateSender) onTail() {
 	}
 }
 
-// searchSeq returns the index of the first window entry with seq >= target
-// (the window slice is ordered by seq).
-func (s *RateSender) searchSeq(target int64) int {
-	lo, hi := s.head, len(s.window)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s.window[mid].seq < target {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
+func (s *RateSender) outstandingUnsacked() int { return s.win.outstanding() }
 
-func (s *RateSender) outstandingUnsacked() int {
-	n := 0
-	for i := s.head; i < len(s.window); i++ {
-		if !s.window[i].sacked {
-			n++
-		}
-	}
-	return n
-}
-
-// OnAck processes an arriving acknowledgment.
+// OnAck processes an arriving acknowledgment. The sender consumes the ACK:
+// when a pool is set the packet is recycled immediately, so callers must not
+// touch it afterwards.
 func (s *RateSender) OnAck(p *netem.Packet) {
+	sackSeq, cumAck, echoSent := p.SackSeq, p.CumAck, p.EchoSent
+	s.Pool.Put(p)
 	if s.done {
 		return
 	}
 	now := s.Eng.Now()
 
-	if st := s.index[p.SackSeq]; st != nil && !st.sacked {
+	if st := s.win.lookup(sackSeq); st != nil && !st.sacked {
 		st.sacked = true
-		rtt := now - p.EchoSent
+		rtt := now - echoSent
 		if !st.rtx {
 			s.Est.Sample(rtt)
 			s.rttSum += rtt
 			s.rttCnt++
 		}
-		s.Algo.OnAck(p.SackSeq, rtt, now)
+		s.Algo.OnAck(sackSeq, rtt, now)
 	}
-	if p.SackSeq > s.sackHigh {
-		s.sackHigh = p.SackSeq
+	if sackSeq > s.sackHigh {
+		s.sackHigh = sackSeq
 	}
 	cumAdvanced := false
-	if p.CumAck > s.cumAck {
-		s.cumAck = p.CumAck
+	if cumAck > s.cumAck {
+		s.cumAck = cumAck
 		cumAdvanced = true
 	}
-	for s.head < len(s.window) && s.window[s.head].seq < s.cumAck {
-		st := s.window[s.head]
-		s.window[s.head] = nil
-		s.head++
-		delete(s.index, st.seq)
+	for s.win.headBelow(s.cumAck) {
+		st := s.win.popHead()
 		if !st.sacked {
 			// Delivered, but its own SACK was lost on the reverse path:
 			// cumulative coverage proves delivery, so tell the algorithm
@@ -298,11 +283,9 @@ func (s *RateSender) OnAck(p *netem.Packet) {
 			st.sacked = true
 			s.Algo.OnAck(st.seq, 0, now)
 		}
+		s.win.recycle(st)
 	}
-	if s.head > 1024 && s.head*2 > len(s.window) {
-		s.window = append([]*pktState(nil), s.window[s.head:]...)
-		s.head = 0
-	}
+	s.win.maybeCompact()
 
 	// Refresh the tail deadline only when the cumulative point advances:
 	// a lost retransmission leaves a hole SACK-gap detection cannot
@@ -315,8 +298,8 @@ func (s *RateSender) OnAck(p *netem.Packet) {
 	// at the first unexamined entry; each sequence is visited once.
 	limit := s.sackHigh - s.DupThresh
 	if limit >= s.lossScan {
-		for i := s.searchSeq(s.lossScan); i < len(s.window); i++ {
-			st := s.window[i]
+		for i := s.win.search(s.lossScan); i < len(s.win.entries); i++ {
+			st := s.win.entries[i]
 			if st.seq > limit {
 				break
 			}

@@ -25,6 +25,11 @@ type Receiver struct {
 	Bucket  float64
 	buckets []float64 // bytes per bucket
 
+	// Pool, when set, recycles packets: consumed data packets are returned
+	// to it and outgoing ACKs are allocated from it. It must belong to this
+	// receiver's engine (pooling never crosses goroutines).
+	Pool *netem.PacketPool
+
 	cumAck      int64 // next expected in-order sequence
 	ooo         map[int64]bool
 	uniqueBytes int64
@@ -76,17 +81,22 @@ func (r *Receiver) OnData(p *netem.Packet) {
 		}
 	}
 
-	ack := &netem.Packet{
-		Flow:     p.Flow,
-		Ack:      true,
-		Size:     AckSize,
-		Sent:     now,
-		CumAck:   r.cumAck,
-		SackSeq:  p.Seq,
-		EchoSent: p.Sent,
-	}
+	flow, seq, sent := p.Flow, p.Seq, p.Sent
+	// The data packet is consumed; recycling it here often hands the same
+	// slot straight back out as the ACK below.
+	r.Pool.Put(p)
+	ack := r.Pool.Get()
+	ack.Flow = flow
+	ack.Ack = true
+	ack.Size = AckSize
+	ack.Sent = now
+	ack.CumAck = r.cumAck
+	ack.SackSeq = seq
+	ack.EchoSent = sent
 	if r.SendAck != nil {
 		r.SendAck(ack)
+	} else {
+		r.Pool.Put(ack)
 	}
 
 	if !r.completed && r.FlowPackets > 0 && r.uniquePkts >= r.FlowPackets {

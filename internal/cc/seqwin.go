@@ -1,0 +1,90 @@
+package cc
+
+// seqWindow tracks the outstanding packets of one sender, ordered by
+// sequence number. It is the single implementation of the window machinery
+// both RateSender and WindowSender build on: entries are appended in seq
+// order, found by binary search (no per-packet map), detached from the
+// head as the cumulative ACK advances, and recycled through a free list so
+// steady-state operation allocates nothing.
+type seqWindow struct {
+	entries []*pktState // ordered by seq; slots below head are nil
+	head    int
+	free    []*pktState
+}
+
+// add appends a fresh or recycled entry for seq, which must exceed every
+// seq already tracked (callers add in transmission order).
+func (w *seqWindow) add(seq int64) *pktState {
+	var st *pktState
+	if n := len(w.free); n > 0 {
+		st = w.free[n-1]
+		w.free = w.free[:n-1]
+		*st = pktState{seq: seq}
+	} else {
+		st = &pktState{seq: seq}
+	}
+	w.entries = append(w.entries, st)
+	return st
+}
+
+// search returns the index of the first live entry with seq >= target.
+func (w *seqWindow) search(target int64) int {
+	lo, hi := w.head, len(w.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.entries[mid].seq < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lookup returns the entry tracking seq, or nil.
+func (w *seqWindow) lookup(seq int64) *pktState {
+	if i := w.search(seq); i < len(w.entries) && w.entries[i].seq == seq {
+		return w.entries[i]
+	}
+	return nil
+}
+
+// headBelow reports whether the oldest tracked entry exists and has a
+// sequence below seq (the head-advance loop condition).
+func (w *seqWindow) headBelow(seq int64) bool {
+	return w.head < len(w.entries) && w.entries[w.head].seq < seq
+}
+
+// popHead detaches the oldest tracked entry. The caller finishes with it
+// and then hands it back via recycle.
+func (w *seqWindow) popHead() *pktState {
+	st := w.entries[w.head]
+	w.entries[w.head] = nil
+	w.head++
+	return st
+}
+
+// recycle returns a detached entry to the free list for reuse by add.
+func (w *seqWindow) recycle(st *pktState) { w.free = append(w.free, st) }
+
+// maybeCompact shifts the live region down once the dead prefix dominates,
+// reusing the backing array.
+func (w *seqWindow) maybeCompact() {
+	if w.head > 1024 && w.head*2 > len(w.entries) {
+		n := copy(w.entries, w.entries[w.head:])
+		clear(w.entries[n:])
+		w.entries = w.entries[:n]
+		w.head = 0
+	}
+}
+
+// outstanding counts entries not yet SACKed.
+func (w *seqWindow) outstanding() int {
+	n := 0
+	for i := w.head; i < len(w.entries); i++ {
+		if !w.entries[i].sacked {
+			n++
+		}
+	}
+	return n
+}

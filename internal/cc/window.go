@@ -40,10 +40,12 @@ type WindowSender struct {
 	// MaxCwnd models the receiver window / socket buffer: the congestion
 	// window is clamped to this many packets (default 65536).
 	MaxCwnd float64
+	// Pool, when set, recycles packets: data packets are allocated from it
+	// and consumed ACKs are returned to it. It must belong to this sender's
+	// engine (pooling never crosses goroutines).
+	Pool *netem.PacketPool
 
-	window   []*pktState // outstanding packets ordered by seq
-	head     int
-	index    map[int64]*pktState
+	win      seqWindow
 	nextSeq  int64
 	cumAck   int64
 	sackHigh int64 // highest SACKed sequence
@@ -54,11 +56,13 @@ type WindowSender struct {
 	inRecovery bool
 	recover    int64
 
-	rtoTimer    *sim.Timer
+	rtoTimer    sim.Timer
 	rtoDeadline float64
 	rtoBackoff  float64
+	onRTOFn     func()
 
-	paceTimer *sim.Timer
+	paceTimer sim.Timer
+	paceFn    func()
 
 	sentPkts int64
 	rtxPkts  int64
@@ -70,7 +74,7 @@ type WindowSender struct {
 
 // NewWindowSender wires a window-based algorithm to a path.
 func NewWindowSender(eng *sim.Engine, flow int, algo WindowAlgo, sendData func(*netem.Packet)) *WindowSender {
-	return &WindowSender{
+	s := &WindowSender{
 		Eng:        eng,
 		Flow:       flow,
 		Algo:       algo,
@@ -79,11 +83,20 @@ func NewWindowSender(eng *sim.Engine, flow int, algo WindowAlgo, sendData func(*
 		RTTHint:    0.1,
 		DupThresh:  3,
 		MaxCwnd:    65536,
-		index:      map[int64]*pktState{},
 		sackHigh:   -1,
 		lossScan:   0,
 		rtoBackoff: 1,
 	}
+	// Bound once: these loops reschedule themselves constantly and a method
+	// value or capturing closure would allocate per use.
+	s.onRTOFn = s.onRTO
+	s.paceFn = func() {
+		if float64(s.pipe) < s.cwnd() && s.hasData() && !s.done {
+			s.sendOne()
+		}
+		s.schedulePace()
+	}
+	return s
 }
 
 // Start begins transmission.
@@ -155,12 +168,7 @@ func (s *WindowSender) schedulePace() {
 	}
 	rate := s.cwnd() * MSS / rtt // bytes/s
 	interval := MSS / rate
-	s.paceTimer = s.Eng.After(interval, func() {
-		if float64(s.pipe) < s.cwnd() && s.hasData() && !s.done {
-			s.sendOne()
-		}
-		s.schedulePace()
-	})
+	s.Eng.Rearm(&s.paceTimer, interval, s.paceFn)
 }
 
 // sendOne transmits the next retransmission or new packet.
@@ -170,7 +178,7 @@ func (s *WindowSender) sendOne() {
 	for len(s.rtxQ) > 0 {
 		seq := s.rtxQ[0]
 		s.rtxQ = s.rtxQ[1:]
-		cand := s.index[seq]
+		cand := s.win.lookup(seq)
 		if cand != nil && cand.lost && !cand.sacked {
 			st = cand
 			st.lost = false
@@ -183,15 +191,14 @@ func (s *WindowSender) sendOne() {
 		if s.FlowPackets > 0 && s.nextSeq >= s.FlowPackets {
 			return
 		}
-		st = &pktState{seq: s.nextSeq}
+		st = s.win.add(s.nextSeq)
 		s.nextSeq++
-		s.window = append(s.window, st)
-		s.index[st.seq] = st
 	}
 	s.pipe++
 	s.sentPkts++
 	st.sentAt = now
-	p := &netem.Packet{Flow: s.Flow, Seq: st.seq, Size: MSS, Sent: now}
+	p := s.Pool.Get()
+	p.Flow, p.Seq, p.Size, p.Sent = s.Flow, st.seq, MSS, now
 	s.SendData(p)
 	s.armRTO()
 }
@@ -204,7 +211,7 @@ func (s *WindowSender) armRTO() {
 		return
 	}
 	s.rtoDeadline = s.Eng.Now() + s.Est.RTO()*s.rtoBackoff
-	s.rtoTimer = s.Eng.After(s.Est.RTO()*s.rtoBackoff, s.onRTO)
+	s.Eng.Rearm(&s.rtoTimer, s.Est.RTO()*s.rtoBackoff, s.onRTOFn)
 }
 
 func (s *WindowSender) resetRTO() {
@@ -215,8 +222,12 @@ func (s *WindowSender) resetRTO() {
 	}
 }
 
-// OnAck processes an arriving acknowledgment.
+// OnAck processes an arriving acknowledgment. The sender consumes the ACK:
+// when a pool is set the packet is recycled immediately, so callers must not
+// touch it afterwards.
 func (s *WindowSender) OnAck(p *netem.Packet) {
+	sackSeq, cumAck, echoSent := p.SackSeq, p.CumAck, p.EchoSent
+	s.Pool.Put(p)
 	if s.done {
 		return
 	}
@@ -224,7 +235,7 @@ func (s *WindowSender) OnAck(p *netem.Packet) {
 	newly := 0
 	var rttSample float64
 
-	if st := s.index[p.SackSeq]; st != nil && !st.sacked {
+	if st := s.win.lookup(sackSeq); st != nil && !st.sacked {
 		st.sacked = true
 		if st.lost {
 			st.lost = false // was queued for rtx but arrived after all
@@ -233,24 +244,21 @@ func (s *WindowSender) OnAck(p *netem.Packet) {
 		}
 		newly++
 		if !st.rtx { // Karn: no samples from retransmitted packets
-			rttSample = now - p.EchoSent
+			rttSample = now - echoSent
 		}
 	}
-	if p.SackSeq > s.sackHigh {
-		s.sackHigh = p.SackSeq
+	if sackSeq > s.sackHigh {
+		s.sackHigh = sackSeq
 	}
 
 	// Advance the cumulative window head.
 	cumAdvanced := false
-	if p.CumAck > s.cumAck {
-		s.cumAck = p.CumAck
+	if cumAck > s.cumAck {
+		s.cumAck = cumAck
 		cumAdvanced = true
 	}
-	for s.head < len(s.window) && s.window[s.head].seq < s.cumAck {
-		st := s.window[s.head]
-		s.window[s.head] = nil
-		s.head++
-		delete(s.index, st.seq)
+	for s.win.headBelow(s.cumAck) {
+		st := s.win.popHead()
 		if !st.sacked {
 			if st.lost {
 				st.sacked = true // neutralize any queued rtx
@@ -259,11 +267,9 @@ func (s *WindowSender) OnAck(p *netem.Packet) {
 			}
 			newly++
 		}
+		s.win.recycle(st)
 	}
-	if s.head > 1024 && s.head*2 > len(s.window) {
-		s.window = append([]*pktState(nil), s.window[s.head:]...)
-		s.head = 0
-	}
+	s.win.maybeCompact()
 
 	if rttSample > 0 {
 		s.Est.Sample(rttSample)
@@ -292,8 +298,8 @@ func (s *WindowSender) OnAck(p *netem.Packet) {
 	lossEvent := false
 	limit := s.sackHigh - s.DupThresh
 	if limit >= s.lossScan {
-		for i := s.searchSeq(s.lossScan); i < len(s.window); i++ {
-			st := s.window[i]
+		for i := s.win.search(s.lossScan); i < len(s.win.entries); i++ {
+			st := s.win.entries[i]
 			if st.seq > limit {
 				break
 			}
@@ -329,31 +335,8 @@ func (s *WindowSender) OnAck(p *netem.Packet) {
 	s.trySend()
 }
 
-// searchSeq returns the index of the first window entry with seq >= target
-// (the window slice is ordered by seq).
-func (s *WindowSender) searchSeq(target int64) int {
-	lo, hi := s.head, len(s.window)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s.window[mid].seq < target {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
 // outstanding counts packets neither SACKed nor cumulatively acknowledged.
-func (s *WindowSender) outstanding() int {
-	n := 0
-	for i := s.head; i < len(s.window); i++ {
-		if !s.window[i].sacked {
-			n++
-		}
-	}
-	return n
-}
+func (s *WindowSender) outstanding() int { return s.win.outstanding() }
 
 // onRTO handles a retransmission timeout: every un-SACKed outstanding packet
 // is presumed lost and the algorithm collapses its window.
@@ -363,7 +346,7 @@ func (s *WindowSender) onRTO() {
 	}
 	if now := s.Eng.Now(); now < s.rtoDeadline {
 		// ACKs refreshed the deadline since this timer was armed.
-		s.rtoTimer = s.Eng.After(s.rtoDeadline-now, s.onRTO)
+		s.Eng.Rearm(&s.rtoTimer, s.rtoDeadline-now, s.onRTOFn)
 		return
 	}
 	s.Algo.OnTimeout(s.Eng.Now())
@@ -372,8 +355,8 @@ func (s *WindowSender) onRTO() {
 		s.rtoBackoff = 64
 	}
 	s.rtxQ = s.rtxQ[:0]
-	for i := s.head; i < len(s.window); i++ {
-		st := s.window[i]
+	for i := s.win.head; i < len(s.win.entries); i++ {
+		st := s.win.entries[i]
 		if !st.sacked {
 			st.lost = true
 			s.rtxQ = append(s.rtxQ, st.seq)

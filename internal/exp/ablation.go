@@ -59,18 +59,19 @@ func RunAblation(scale float64, seed int64) *Report {
 		Title:  "design-choice ablations on the Fig. 7 path (100 Mbps, 30 ms)",
 		Header: []string{"variant", "goodput_Mbps", "reversions", "inconclusive"},
 	}
-	for _, v := range variants {
+	rep.Rows = RunPoints(len(variants), func(i int) []string {
+		v := variants[i]
 		cfg := v.cfg()
 		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, Loss: v.loss, BufBytes: 375 * netem.KB, Seed: seed})
 		f := r.AddFlow(FlowSpec{Proto: "pcc", PCCConfig: &cfg, RevLoss: v.loss})
 		r.Run(dur)
-		rep.Rows = append(rep.Rows, []string{
+		return []string{
 			v.label,
 			f2(f.GoodputMbps(dur)),
 			f2(float64(f.PCC.Controller().Reversions())),
 			f2(float64(f.PCC.Controller().Inconclusive())),
-		})
-	}
+		}
+	})
 	rep.Notes = append(rep.Notes,
 		"no-forgiveness shows the startup trap the loss de-noising fixes; no-RCT trades stability for speed (Fig. 16)")
 	return rep

@@ -14,6 +14,7 @@ import (
 // full-scale numbers.
 
 func TestShapeLossResilience(t *testing.T) {
+	t.Parallel()
 	// Fig. 7 core claim: at 1% random loss PCC holds most of capacity
 	// while CUBIC collapses.
 	path := PathSpec{RateMbps: 100, RTT: 0.030, Loss: 0.01, BufBytes: 375 * netem.KB, Seed: 42}
@@ -31,6 +32,7 @@ func TestShapeLossResilience(t *testing.T) {
 }
 
 func TestShapeSatellite(t *testing.T) {
+	t.Parallel()
 	// Fig. 6 core claim: PCC beats Hybla by a large factor on the
 	// satellite link.
 	path := PathSpec{RateMbps: 42, RTT: 0.8, Loss: 0.0074, BufBytes: 1000 * netem.KB, Seed: 42}
@@ -45,6 +47,7 @@ func TestShapeSatellite(t *testing.T) {
 }
 
 func TestShapeShallowBuffer(t *testing.T) {
+	t.Parallel()
 	// Fig. 9 core claim: PCC fills the link with a 6-MSS buffer where
 	// CUBIC cannot.
 	path := PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 9000, Seed: 42}
@@ -59,6 +62,7 @@ func TestShapeShallowBuffer(t *testing.T) {
 }
 
 func TestShapeSmallBufferRateLimiter(t *testing.T) {
+	t.Parallel()
 	// Table 1 core claim: on an 800 Mbps reserved path with a small-buffer
 	// limiter, PCC far exceeds Illinois.
 	path := PathSpec{RateMbps: 800, RTT: 0.036, BufBytes: 75 * netem.KB, Seed: 42}
@@ -73,6 +77,7 @@ func TestShapeSmallBufferRateLimiter(t *testing.T) {
 }
 
 func TestShapeRTTFairness(t *testing.T) {
+	t.Parallel()
 	// Fig. 8 core claim: PCC's long/short throughput ratio is far closer
 	// to 1 than New Reno's.
 	ratio := func(proto string) float64 {
@@ -93,6 +98,7 @@ func TestShapeRTTFairness(t *testing.T) {
 }
 
 func TestShapeFairConvergence(t *testing.T) {
+	t.Parallel()
 	// Fig. 12/13 core claim: concurrent PCC flows share fairly with low
 	// variance.
 	r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: 42})
@@ -110,6 +116,7 @@ func TestShapeFairConvergence(t *testing.T) {
 }
 
 func TestShapeIncast(t *testing.T) {
+	t.Parallel()
 	// Fig. 10 core claim: with many synchronized senders PCC's goodput
 	// beats TCP's.
 	pcc := incastGoodput("pcc", 20, 256, 42)
@@ -120,6 +127,7 @@ func TestShapeIncast(t *testing.T) {
 }
 
 func TestShapeDynamicNetwork(t *testing.T) {
+	t.Parallel()
 	// Fig. 11 core claim: PCC tracks a rapidly changing network far better
 	// than CUBIC.
 	rep, series := RunFig11(0.25, 42)
@@ -141,6 +149,7 @@ func TestShapeDynamicNetwork(t *testing.T) {
 }
 
 func TestShapeHeavyLossUtility(t *testing.T) {
+	t.Parallel()
 	// §4.4.2 core claim: the loss-resilient utility holds most of the
 	// achievable rate at 40% loss.
 	cfg := core.HeavyLossConfig(0.030)
@@ -154,6 +163,7 @@ func TestShapeHeavyLossUtility(t *testing.T) {
 }
 
 func TestShapeLatencyUtilityKeepsQueueSmall(t *testing.T) {
+	t.Parallel()
 	// Fig. 17 core claim: PCC with the latency utility keeps self-inflicted
 	// queueing far below TCP's on a bufferbloated FQ link.
 	cfg := core.InteractiveConfig(0.020)
@@ -174,6 +184,7 @@ func TestShapeLatencyUtilityKeepsQueueSmall(t *testing.T) {
 }
 
 func TestRegistryRunsEveryExperimentTiny(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("runs every driver")
 	}

@@ -25,20 +25,22 @@ func RunFig8(scale float64, seed int64) *Report {
 		Header: append([]string{"long_RTT_ms"}, protos...),
 	}
 	shortBDP := int(netem.Mbps(100) * 0.010)
-	for _, lr := range longRTTs {
+	ratios := RunPoints(len(longRTTs)*len(protos), func(i int) float64 {
+		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.010, BufBytes: shortBDP, Seed: seed})
+		long := r.AddFlow(FlowSpec{Proto: protos[i%len(protos)], RTT: longRTTs[i/len(protos)], StartAt: 0, Bucket: 1})
+		short := r.AddFlow(FlowSpec{Proto: protos[i%len(protos)], RTT: 0.010, StartAt: 5, Bucket: 1})
+		r.Run(5 + dur)
+		lt := long.WindowMbps(5, 5+dur)
+		st := short.WindowMbps(5, 5+dur)
+		if st <= 0 {
+			return 0
+		}
+		return lt / st
+	})
+	for li, lr := range longRTTs {
 		row := []string{f1(lr * 1e3)}
-		for _, proto := range protos {
-			r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.010, BufBytes: shortBDP, Seed: seed})
-			long := r.AddFlow(FlowSpec{Proto: proto, RTT: lr, StartAt: 0, Bucket: 1})
-			short := r.AddFlow(FlowSpec{Proto: proto, RTT: 0.010, StartAt: 5, Bucket: 1})
-			r.Run(5 + dur)
-			lt := long.WindowMbps(5, 5+dur)
-			st := short.WindowMbps(5, 5+dur)
-			ratio := 0.0
-			if st > 0 {
-				ratio = lt / st
-			}
-			row = append(row, f2(ratio))
+		for pi := range protos {
+			row = append(row, f2(ratios[li*len(protos)+pi]))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -60,7 +62,8 @@ func RunFig12(scale float64, seed int64) *Report {
 		Title:  "convergence of 4 staggered flows (100 Mbps, 30 ms, BDP buffer)",
 		Header: []string{"proto", "phase(n_flows)", "mean_rates_Mbps", "mean_stddev_Mbps", "jain"},
 	}
-	for _, proto := range protos {
+	protoRows := RunPoints(len(protos), func(pi int) [][]string {
+		proto := protos[pi]
 		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
 		flows := make([]*Flow, 4)
 		for i := range flows {
@@ -70,6 +73,7 @@ func RunFig12(scale float64, seed int64) *Report {
 		r.Run(total)
 		// Phase k (k = 1..4) is [k-1, k)*stagger with k active flows; skip
 		// the first 20% of each phase as transient.
+		var rows [][]string
 		for k := 1; k <= 4; k++ {
 			from := float64(k-1)*stagger + 0.2*stagger
 			to := float64(k) * stagger
@@ -79,7 +83,7 @@ func RunFig12(scale float64, seed int64) *Report {
 				means = append(means, metrics.Mean(series))
 				stds = append(stds, metrics.StdDev(series))
 			}
-			rep.Rows = append(rep.Rows, []string{
+			rows = append(rows, []string{
 				proto,
 				fmt.Sprintf("%d", k),
 				joinF1(means),
@@ -87,6 +91,10 @@ func RunFig12(scale float64, seed int64) *Report {
 				f3(metrics.JainIndex(means)),
 			})
 		}
+		return rows
+	})
+	for _, rows := range protoRows {
+		rep.Rows = append(rep.Rows, rows...)
 	}
 	rep.Notes = append(rep.Notes, "paper: PCC flows hold steady equal shares; CUBIC shows high variance and short-term unfairness")
 	return rep
@@ -105,31 +113,33 @@ func RunFig13(scale float64, seed int64) *Report {
 		Title:  "Jain's fairness index vs time scale (100 Mbps, 30 ms)",
 		Header: append([]string{"proto", "flows"}, intHeaders(timescales, "s")...),
 	}
-	for _, proto := range protos {
-		for _, nf := range []int{2, 3, 4} {
-			r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
-			flows := make([]*Flow, nf)
-			for i := range flows {
-				flows[i] = r.AddFlow(FlowSpec{Proto: proto, StartAt: 0, Bucket: 1})
-			}
-			r.Run(dur)
-			// Skip the first 30 s (or 20%) as convergence transient.
-			warm := 0.2 * dur
-			series := make([][]float64, nf)
-			for i, f := range flows {
-				series[i] = sliceSeries(f.SeriesMbps(), warm, dur, 1)
-			}
-			row := []string{proto, fmt.Sprintf("%d", nf)}
-			for _, ts := range timescales {
-				if ts > int(dur-warm) {
-					row = append(row, "-")
-					continue
-				}
-				row = append(row, f3(metrics.WindowedJain(series, ts)))
-			}
-			rep.Rows = append(rep.Rows, row)
+	flowCounts := []int{2, 3, 4}
+	rows := RunPoints(len(protos)*len(flowCounts), func(i int) []string {
+		proto := protos[i/len(flowCounts)]
+		nf := flowCounts[i%len(flowCounts)]
+		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
+		flows := make([]*Flow, nf)
+		for i := range flows {
+			flows[i] = r.AddFlow(FlowSpec{Proto: proto, StartAt: 0, Bucket: 1})
 		}
-	}
+		r.Run(dur)
+		// Skip the first 30 s (or 20%) as convergence transient.
+		warm := 0.2 * dur
+		series := make([][]float64, nf)
+		for i, f := range flows {
+			series[i] = sliceSeries(f.SeriesMbps(), warm, dur, 1)
+		}
+		row := []string{proto, fmt.Sprintf("%d", nf)}
+		for _, ts := range timescales {
+			if ts > int(dur-warm) {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, f3(metrics.WindowedJain(series, ts)))
+		}
+		return row
+	})
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Notes = append(rep.Notes, "paper: PCC above 0.99 at every time scale; CUBIC/New Reno notably lower at short scales")
 	return rep
 }

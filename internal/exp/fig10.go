@@ -28,14 +28,36 @@ func RunFig10(scale float64, seed int64) *Report {
 		Title:  "incast (1 Gbps, 1 ms RTT, 64 KB switch buffer): goodput vs senders",
 		Header: []string{"senders", "data_KB", "pcc_Mbps", "tcp_Mbps", "pcc/tcp"},
 	}
+	// Flatten (size, senders, proto, trial) into one job list; every incast
+	// trial is an independent simulation.
+	type incastJob struct {
+		sizeKB, n, trial int
+		proto            string
+	}
+	var jobs []incastJob
+	for _, sizeKB := range sizesKB {
+		for _, n := range senderCounts {
+			for _, proto := range protos {
+				for trial := 0; trial < trials; trial++ {
+					jobs = append(jobs, incastJob{sizeKB: sizeKB, n: n, trial: trial, proto: proto})
+				}
+			}
+		}
+	}
+	goodputs := RunPoints(len(jobs), func(i int) float64 {
+		j := jobs[i]
+		return incastGoodput(j.proto, j.n, j.sizeKB, seed+int64(j.trial)*131)
+	})
 	var ratios []string
+	ji := 0
 	for _, sizeKB := range sizesKB {
 		for _, n := range senderCounts {
 			results := map[string]float64{}
 			for _, proto := range protos {
 				var sum float64
 				for trial := 0; trial < trials; trial++ {
-					sum += incastGoodput(proto, n, sizeKB, seed+int64(trial)*131)
+					sum += goodputs[ji]
+					ji++
 				}
 				results[proto] = sum / float64(trials)
 			}

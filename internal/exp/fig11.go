@@ -30,10 +30,13 @@ func RunFig11(scale float64, seed int64) (*Report, *Fig11Series) {
 		LossMin: 0, LossMax: 0.01,
 	}
 
-	series := &Fig11Series{Achieved: map[string][]float64{}}
-	results := map[string]float64{}
-	var optMean float64
-	for _, proto := range protos {
+	type fig11Trial struct {
+		goodput  float64
+		achieved []float64
+		trace    []netem.Sample
+	}
+	trialOut := RunPoints(len(protos), func(pi int) fig11Trial {
+		proto := protos[pi]
 		// Same seed → identical sequence of drawn network conditions for
 		// every protocol.
 		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 150 * netem.KB, Seed: seed})
@@ -43,17 +46,25 @@ func RunFig11(scale float64, seed int64) (*Report, *Fig11Series) {
 		varyRng := sim.NewSeeds(seed ^ 0x5eed).NextRand()
 		trace := netem.StartVarying(r.Eng, r.Net, f.ID, spec, varyRng, dur)
 		r.Run(dur)
-		results[proto] = f.GoodputMbps(dur)
-		series.Achieved[proto] = f.SeriesMbps()
+		return fig11Trial{goodput: f.GoodputMbps(dur), achieved: f.SeriesMbps(), trace: *trace}
+	})
+
+	series := &Fig11Series{Achieved: map[string][]float64{}}
+	results := map[string]float64{}
+	var optMean float64
+	for pi, proto := range protos {
+		results[proto] = trialOut[pi].goodput
+		series.Achieved[proto] = trialOut[pi].achieved
 		if series.Optimal == nil {
 			// Expand the piecewise-constant trace to 1 Hz.
+			trace := trialOut[pi].trace
 			opt := make([]float64, int(dur))
 			ti := 0
 			for s := range opt {
-				for ti+1 < len(*trace) && (*trace)[ti+1].At <= float64(s) {
+				for ti+1 < len(trace) && trace[ti+1].At <= float64(s) {
 					ti++
 				}
-				opt[s] = netem.ToMbps((*trace)[ti].Rate) * (1 - (*trace)[ti].Loss)
+				opt[s] = netem.ToMbps(trace[ti].Rate) * (1 - trace[ti].Loss)
 			}
 			series.Optimal = opt
 			optMean = metrics.Mean(opt)

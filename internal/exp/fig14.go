@@ -29,14 +29,22 @@ func RunFig14(scale float64, seed int64) *Report {
 		Title:  "TCP friendliness: normal-TCP throughput with PCC rivals / with 10-parallel-TCP rivals",
 		Header: append([]string{"network"}, intHeaders(counts, " selfish")...),
 	}
-	for _, nw := range nets {
-		row := []string{fmt.Sprintf("%.0fMbps,%.0fms", nw.RateMbps, nw.RTT*1e3)}
+	// Two trials per (network, count) cell: rivals are n PCC flows, or n
+	// bundles of 10 parallel TCP flows.
+	tputs := RunPoints(len(nets)*len(counts)*2, func(i int) float64 {
+		nw := nets[i/(len(counts)*2)]
+		n := counts[(i/2)%len(counts)]
 		buf := int(netem.Mbps(nw.RateMbps) * nw.RTT)
-		for _, n := range counts {
-			// Competing with n PCC flows.
-			withPCC := normalTCPThroughput(nw.RateMbps, nw.RTT, buf, n, "pcc", 1, dur, seed)
-			// Competing with n bundles of 10 parallel TCP flows.
-			withBundle := normalTCPThroughput(nw.RateMbps, nw.RTT, buf, n, "newreno", 10, dur, seed)
+		if i%2 == 0 {
+			return normalTCPThroughput(nw.RateMbps, nw.RTT, buf, n, "pcc", 1, dur, seed)
+		}
+		return normalTCPThroughput(nw.RateMbps, nw.RTT, buf, n, "newreno", 10, dur, seed)
+	})
+	for ni, nw := range nets {
+		row := []string{fmt.Sprintf("%.0fMbps,%.0fms", nw.RateMbps, nw.RTT*1e3)}
+		for ci := range counts {
+			withPCC := tputs[(ni*len(counts)+ci)*2]
+			withBundle := tputs[(ni*len(counts)+ci)*2+1]
 			ratio := 0.0
 			if withBundle > 0 {
 				ratio = withPCC / withBundle

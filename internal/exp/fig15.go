@@ -25,9 +25,12 @@ func RunFig15(scale float64, seed int64) *Report {
 		Title:  "short-flow FCT (100 KB flows, 15 Mbps, 60 ms): Poisson arrivals at varying load",
 		Header: []string{"load", "proto", "flows", "median_ms", "mean_ms", "p95_ms"},
 	}
-	for _, load := range loads {
-		for _, proto := range protos {
-			fcts := shortFlowFCTs(proto, load, flowKB, dur, seed)
+	allFCTs := RunPoints(len(loads)*len(protos), func(i int) []float64 {
+		return shortFlowFCTs(protos[i%len(protos)], loads[i/len(protos)], flowKB, dur, seed)
+	})
+	for li, load := range loads {
+		for pi, proto := range protos {
+			fcts := allFCTs[li*len(protos)+pi]
 			if len(fcts) == 0 {
 				rep.Rows = append(rep.Rows, []string{f2(load), proto, "0", "-", "-", "-"})
 				continue

@@ -58,13 +58,19 @@ func RunFig16(scale float64, seed int64) *Report {
 		Title:  "stability vs reactiveness (100 Mbps, 30 ms; flow B joins at 20 s)",
 		Header: []string{"config", "convergence_s", "stddev_Mbps"},
 	}
-	for _, c := range cfgs {
+	type trialResult struct{ conv, std float64 }
+	results := RunPoints(len(cfgs)*trials, func(i int) trialResult {
+		c := cfgs[i/trials]
+		conv, std := tradeoffTrial(c.proto, c.pcc, seed+int64(i%trials)*977)
+		return trialResult{conv: conv, std: std}
+	})
+	for ci, c := range cfgs {
 		var convs, stds []float64
 		for trial := 0; trial < trials; trial++ {
-			conv, std := tradeoffTrial(c.proto, c.pcc, seed+int64(trial)*977)
-			if conv >= 0 {
-				convs = append(convs, conv)
-				stds = append(stds, std)
+			res := results[ci*trials+trial]
+			if res.conv >= 0 {
+				convs = append(convs, res.conv)
+				stds = append(stds, res.std)
 			}
 		}
 		if len(convs) == 0 {

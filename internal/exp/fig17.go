@@ -35,8 +35,9 @@ func RunFig17(scale float64, seed int64) *Report {
 		Title:  "power (Mbps per second of delay) under AQM x protocol, 40 Mbps / 20 ms, FQ, 2 flows",
 		Header: []string{"combination", "tput_Mbps", "mean_RTT_ms", "power"},
 	}
-	powers := map[string]float64{}
-	for _, c := range cells {
+	type cellResult struct{ tput, rtt float64 }
+	cellOut := RunPoints(len(cells), func(i int) cellResult {
+		c := cells[i]
 		// Bufferbloat = very deep per-flow FIFO (2 MB); CoDel children get
 		// the same physical cap but drain the standing queue.
 		r := NewRunner(PathSpec{RateMbps: 40, RTT: 0.020, BufBytes: 2000 * netem.KB, QueueKind: c.queue, Seed: seed})
@@ -44,12 +45,17 @@ func RunFig17(scale float64, seed int64) *Report {
 		f2s := r.AddFlow(flowForPower(c.proto))
 		r.Run(dur)
 
-		var tput, rtt float64
+		var res cellResult
 		for _, f := range []*Flow{f1s, f2s} {
-			tput += f.GoodputMbps(dur)
-			rtt += meanRTT(f)
+			res.tput += f.GoodputMbps(dur)
+			res.rtt += meanRTT(f)
 		}
-		rtt /= 2
+		res.rtt /= 2
+		return res
+	})
+	powers := map[string]float64{}
+	for i, c := range cells {
+		tput, rtt := cellOut[i].tput, cellOut[i].rtt
 		power := 0.0
 		if rtt > 0 {
 			power = tput / rtt

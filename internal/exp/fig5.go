@@ -21,17 +21,25 @@ func RunFig5(scale float64, seed int64) *Report {
 	dur := scaledDur(60, 20, scale)
 	paths := workload.SampleInternetPaths(n, seed)
 
-	ratios := map[string][]float64{}
 	rivals := []string{"cubic", "sabul", "pcp"}
-	for i, p := range paths {
+	perPath := RunPoints(len(paths), func(i int) []float64 {
+		p := paths[i]
 		path := PathSpec{RateMbps: p.RateMbps, RTT: p.RTT, Loss: p.Loss, BufBytes: p.BufBytes, Seed: seed + int64(i)*7}
 		pccT := runSingle(path, "pcc", dur, nil)
-		for _, rival := range rivals {
+		out := make([]float64, len(rivals))
+		for k, rival := range rivals {
 			rT := runSingle(path, rival, dur, nil)
 			if rT <= 0 {
 				rT = 0.01
 			}
-			ratios[rival] = append(ratios[rival], pccT/rT)
+			out[k] = pccT / rT
+		}
+		return out
+	})
+	ratios := map[string][]float64{}
+	for _, rs := range perPath {
+		for k, rival := range rivals {
+			ratios[rival] = append(ratios[rival], rs[k])
 		}
 	}
 

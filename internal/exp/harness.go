@@ -71,13 +71,17 @@ type Flow struct {
 	DoneAt float64 // completion time for finite flows; -1 while running
 }
 
-// Runner assembles and runs one dumbbell simulation.
+// Runner assembles and runs one dumbbell simulation. A Runner (like its
+// Engine) is single-threaded; parallel experiments give every trial its own
+// Runner (see pool.go), which also keeps the packet free list goroutine-local.
 type Runner struct {
 	Eng   *sim.Engine
 	Seeds *sim.Seeds
 	Net   *netem.Dumbbell
 	Path  PathSpec
 	Flows []*Flow
+	// PktPool recycles packets across all flows of this runner.
+	PktPool *netem.PacketPool
 }
 
 // NewRunner builds the dumbbell for the given path.
@@ -98,7 +102,9 @@ func NewRunner(p PathSpec) *Runner {
 		panic(fmt.Sprintf("exp: unknown queue kind %q", p.QueueKind))
 	}
 	net := netem.NewDumbbell(eng, q, netem.Mbps(p.RateMbps), p.Loss, seeds)
-	return &Runner{Eng: eng, Seeds: seeds, Net: net, Path: p}
+	pool := &netem.PacketPool{}
+	net.UsePool(pool)
+	return &Runner{Eng: eng, Seeds: seeds, Net: net, Path: p, PktPool: pool}
 }
 
 // Capacity returns the bottleneck capacity in bytes/s.
@@ -114,6 +120,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	f := &Flow{ID: id, Spec: spec, DoneAt: -1}
 	r.Flows = append(r.Flows, f)
 	f.Recv = cc.NewReceiver(r.Eng, id)
+	f.Recv.Pool = r.PktPool
 	f.Recv.SendAck = r.Net.SendAck
 	f.Recv.Bucket = spec.Bucket
 	var flowPkts int64
@@ -164,6 +171,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	}
 
 	if f.RS != nil {
+		f.RS.Pool = r.PktPool
 		f.RS.FlowPackets = flowPkts
 		f.RS.RTTHint = rtt
 		f.RS.TraceRate = spec.TraceRate
@@ -171,6 +179,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		r.Net.AddFlow(id, cfg, r.Seeds, f.Recv.OnData, f.RS.OnAck)
 		r.Eng.At(spec.StartAt, f.RS.Start)
 	} else {
+		f.WS.Pool = r.PktPool
 		f.WS.FlowPackets = flowPkts
 		f.WS.OnDone = func(now float64) { f.DoneAt = now }
 		r.Net.AddFlow(id, cfg, r.Seeds, f.Recv.OnData, f.WS.OnAck)

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel experiment engine. Every trial of every driver
+// in this package is a self-contained deterministic simulation — it builds
+// its own sim.Engine and derives every RNG stream from the PathSpec seed —
+// so trials are embarrassingly parallel. RunTrials/RunPoints fan a trial
+// function out across a bounded worker pool while keeping results indexed
+// by trial number, which makes the assembled report byte-identical to a
+// sequential run regardless of goroutine scheduling (asserted by
+// determinism_test.go).
+//
+// Worker-count resolution, most specific wins:
+//
+//  1. the explicit count passed to RunTrialsWith/RunPointsWith,
+//  2. SetWorkers (cmd/pccbench's -par flag),
+//  3. the PCC_PAR environment variable,
+//  4. GOMAXPROCS.
+
+// workerOverride holds the SetWorkers value; 0 means "not set".
+var workerOverride atomic.Int64
+
+// SetWorkers overrides the default worker count for RunTrials/RunPoints.
+// n <= 0 restores automatic resolution (PCC_PAR, then GOMAXPROCS).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// Workers returns the worker count RunTrials will use.
+func Workers() int {
+	if n := int(workerOverride.Load()); n > 0 {
+		return n
+	}
+	if s := os.Getenv("PCC_PAR"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunTrials runs fn(trial) for every trial in [0, n) across the default
+// number of workers. fn must be self-contained: it builds its own Runner
+// (and therefore its own engine, RNGs and packet pool) from a seed derived
+// from the trial index, and writes any result into a slot owned by that
+// index. Calls may execute on different goroutines in any order; RunTrials
+// returns after all complete. A panic in any trial is re-raised on the
+// caller's goroutine, matching sequential behaviour.
+func RunTrials(n int, fn func(trial int)) { RunTrialsWith(Workers(), n, fn) }
+
+// RunTrialsWith is RunTrials with an explicit worker count (1 = sequential,
+// in trial order, on the calling goroutine).
+func RunTrialsWith(workers, n int, fn func(trial int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Abort the sweep: workers stop claiming trials, so the
+					// panic surfaces without first burning through the rest
+					// of the grid.
+					stop.Store(true)
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// RunPoints runs fn over [0, n) in parallel and returns the results in
+// index order: out[i] == fn(i) no matter which worker computed it. This is
+// the workhorse of the drivers: a figure's sweep grid is flattened into
+// n points, computed concurrently, and reassembled into rows sequentially
+// so row order and floating-point aggregation order never change.
+func RunPoints[T any](n int, fn func(point int) T) []T {
+	return RunPointsWith[T](Workers(), n, fn)
+}
+
+// RunPointsWith is RunPoints with an explicit worker count.
+func RunPointsWith[T any](workers, n int, fn func(point int) T) []T {
+	out := make([]T, n)
+	RunTrialsWith(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// TrialSeed derives a per-trial root seed from (rootSeed, trial) with a
+// SplitMix64 finalizer, so trials are decorrelated even for adjacent
+// indices and the mapping is stable across releases. Drivers that predate
+// the pool use ad-hoc affine derivations (seed + k*trial); both are fine —
+// what matters is that the derivation depends only on (rootSeed, trial).
+func TrialSeed(rootSeed int64, trial int) int64 {
+	z := uint64(rootSeed) + 0x9e3779b97f4a7c15*uint64(trial+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -62,7 +62,9 @@ func RunTheory(scale float64, seed int64) *Report {
 	}
 	const C = 100.0
 	const eps = 0.01
-	for _, n := range []int{2, 3, 4, 8, 16} {
+	senderCounts := []int{2, 3, 4, 8, 16}
+	rep.Rows = RunPoints(len(senderCounts), func(i int) []string {
+		n := senderCounts[i]
 		g := theory.NewGame(C, n)
 		xh := g.Equilibrium(n, eps)
 		sumRatio := xh * float64(n) / C
@@ -88,11 +90,11 @@ func RunTheory(scale float64, seed int64) *Report {
 		}
 		lo, hi := xh*(1-eps)*(1-eps), xh*(1+eps)*(1+eps)
 		converged := mn >= lo && mx <= hi
-		rep.Rows = append(rep.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", n), f3(xh), f3(sumRatio),
 			fmt.Sprintf("%v", bandOK), f3(mn), f3(mx), fmt.Sprintf("%v", converged),
-		})
-	}
+		}
+	})
 	rep.Notes = append(rep.Notes, "band_ok: C < Σx̂ < 20C/19 (Theorem 1); converged: all senders in (x̂(1−ε)², x̂(1+ε)²) (Theorem 2)")
 	return rep
 }

@@ -6,6 +6,7 @@ import "testing"
 // PCC flow on a clean 100 Mbps / 30 ms / BDP-buffer path should converge to
 // a large fraction of capacity.
 func TestPCCSmokeTracksCapacity(t *testing.T) {
+	t.Parallel()
 	r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem_KB, Seed: 1})
 	f := r.AddFlow(FlowSpec{Proto: "pcc"})
 	r.Run(30)
@@ -21,6 +22,7 @@ const netem_KB = 1000
 // TestTCPSmokeTracksCapacity: New Reno and CUBIC should also fill a clean
 // path with a BDP buffer.
 func TestTCPSmokeTracksCapacity(t *testing.T) {
+	t.Parallel()
 	for _, proto := range []string{"newreno", "cubic", "illinois"} {
 		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem_KB, Seed: 1})
 		f := r.AddFlow(FlowSpec{Proto: proto})

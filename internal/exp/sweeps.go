@@ -31,12 +31,15 @@ func RunFig6(scale float64, seed int64) *Report {
 		Title:  "satellite link (42 Mbps, 800 ms RTT, 0.74% loss): throughput vs buffer size",
 		Header: append([]string{"buffer_KB"}, protos...),
 	}
+	tputs := RunPoints(len(buffers)*len(protos), func(i int) float64 {
+		path := PathSpec{RateMbps: 42, RTT: 0.8, Loss: 0.0074, BufBytes: buffers[i/len(protos)], Seed: seed}
+		return runSingle(path, protos[i%len(protos)], dur, nil)
+	})
 	var pccAt1MB, hyblaAt1MB float64
-	for _, buf := range buffers {
+	for bi, buf := range buffers {
 		row := []string{fmt.Sprintf("%.1f", float64(buf)/netem.KB)}
-		for _, proto := range protos {
-			path := PathSpec{RateMbps: 42, RTT: 0.8, Loss: 0.0074, BufBytes: buf, Seed: seed}
-			tput := runSingle(path, proto, dur, nil)
+		for pi, proto := range protos {
+			tput := tputs[bi*len(protos)+pi]
 			row = append(row, f2(tput))
 			if buf == 1000*netem.KB {
 				switch proto {
@@ -70,16 +73,20 @@ func RunFig7(scale float64, seed int64) *Report {
 		Title:  "random loss (100 Mbps, 30 ms): throughput vs loss rate",
 		Header: append(append([]string{"loss"}, protos...), "achievable"),
 	}
+	tputs := RunPoints(len(losses)*len(protos), func(i int) float64 {
+		loss := losses[i/len(protos)]
+		path := PathSpec{RateMbps: 100, RTT: 0.030, Loss: loss, BufBytes: 375 * netem.KB, Seed: seed}
+		// Loss applies on forward path; paper also injects reverse loss.
+		r := NewRunner(path)
+		f := r.AddFlow(FlowSpec{Proto: protos[i%len(protos)], RevLoss: loss})
+		r.Run(dur)
+		return f.GoodputMbps(dur)
+	})
 	var pccAt2, cubicAt2 float64
-	for _, loss := range losses {
+	for li, loss := range losses {
 		row := []string{f3(loss)}
-		for _, proto := range protos {
-			path := PathSpec{RateMbps: 100, RTT: 0.030, Loss: loss, BufBytes: 375 * netem.KB, Seed: seed}
-			// Loss applies on forward path; paper also injects reverse loss.
-			r := NewRunner(path)
-			f := r.AddFlow(FlowSpec{Proto: proto, RevLoss: loss})
-			r.Run(dur)
-			tput := f.GoodputMbps(dur)
+		for pi, proto := range protos {
+			tput := tputs[li*len(protos)+pi]
 			row = append(row, f2(tput))
 			if loss == 0.02 {
 				switch proto {
@@ -113,12 +120,15 @@ func RunFig9(scale float64, seed int64) *Report {
 		Title:  "shallow buffers (100 Mbps, 30 ms): throughput vs buffer size",
 		Header: append([]string{"buffer_KB"}, protos...),
 	}
+	tputs := RunPoints(len(buffers)*len(protos), func(i int) float64 {
+		path := PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: buffers[i/len(protos)], Seed: seed}
+		return runSingle(path, protos[i%len(protos)], dur, nil)
+	})
 	buf90 := map[string]float64{}
-	for _, buf := range buffers {
+	for bi, buf := range buffers {
 		row := []string{fmt.Sprintf("%.1f", float64(buf)/netem.KB)}
-		for _, proto := range protos {
-			path := PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: buf, Seed: seed}
-			tput := runSingle(path, proto, dur, nil)
+		for pi, proto := range protos {
+			tput := tputs[bi*len(protos)+pi]
 			row = append(row, f2(tput))
 			if tput >= 90 {
 				if _, ok := buf90[proto]; !ok {
@@ -153,13 +163,19 @@ func RunLossResilient(scale float64, seed int64) *Report {
 	}
 	var ratioAt10 float64
 	hlCfg := core.HeavyLossConfig(0.030)
-	for _, loss := range losses {
+	tputs := RunPoints(len(losses)*2, func(i int) float64 {
+		loss := losses[i/2]
 		path := PathSpec{RateMbps: 100, RTT: 0.030, Loss: loss, BufBytes: 375 * netem.KB, QueueKind: "fq", Seed: seed}
-		r := NewRunner(path)
-		pf := r.AddFlow(FlowSpec{Proto: "pcc", PCCConfig: &hlCfg})
-		r.Run(dur)
-		pccT := pf.GoodputMbps(dur)
-		cubicT := runSingle(path, "cubic", dur, nil)
+		if i%2 == 0 {
+			r := NewRunner(path)
+			pf := r.AddFlow(FlowSpec{Proto: "pcc", PCCConfig: &hlCfg})
+			r.Run(dur)
+			return pf.GoodputMbps(dur)
+		}
+		return runSingle(path, "cubic", dur, nil)
+	})
+	for li, loss := range losses {
+		pccT, cubicT := tputs[li*2], tputs[li*2+1]
 		ach := 100 * (1 - loss)
 		rep.Rows = append(rep.Rows, []string{
 			f2(loss), f2(pccT), f2(cubicT), f2(ach), f3(pccT / ach),

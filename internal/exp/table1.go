@@ -39,14 +39,18 @@ func RunTable1(scale float64, seed int64) *Report {
 		Title:  "inter-data-center, 800 Mbps reserved paths with small-buffer rate limiter",
 		Header: append([]string{"pair", "RTT_ms"}, protos...),
 	}
+	tputs := RunPoints(len(table1Pairs)*len(protos), func(i int) float64 {
+		pair := table1Pairs[i/len(protos)]
+		path := PathSpec{RateMbps: 800, RTT: pair.RTT, BufBytes: 75 * netem.KB, Seed: seed + int64(i/len(protos))}
+		return runSingle(path, protos[i%len(protos)], dur, nil)
+	})
 	var sumPCC, sumIll float64
 	var maxRatio float64
 	for i, pair := range table1Pairs {
 		row := []string{pair.Name, f1(pair.RTT * 1e3)}
 		var pccT, illT float64
-		for _, proto := range protos {
-			path := PathSpec{RateMbps: 800, RTT: pair.RTT, BufBytes: 75 * netem.KB, Seed: seed + int64(i)}
-			tput := runSingle(path, proto, dur, nil)
+		for pi, proto := range protos {
+			tput := tputs[i*len(protos)+pi]
 			row = append(row, fmt.Sprintf("%.0f", tput))
 			switch proto {
 			case "pcc":

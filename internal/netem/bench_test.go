@@ -1,0 +1,43 @@
+package netem_test
+
+import (
+	"testing"
+
+	"pcc/internal/netem"
+	"pcc/internal/sim"
+)
+
+// BenchmarkLinkForward measures the per-packet cost of the store-and-forward
+// path (enqueue → serialize → deliver) with packet recycling through the
+// engine-local free list. This is the inner loop under every experiment.
+func BenchmarkLinkForward(b *testing.B) {
+	eng := sim.NewEngine()
+	pool := &netem.PacketPool{}
+	l := netem.NewLink(eng, netem.NewDropTail(64*netem.KB), netem.Mbps(1000), 0.0001, 0, nil)
+	l.Pool = pool
+	delivered := 0
+	l.Sink = func(p *netem.Packet) {
+		delivered++
+		pool.Put(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := 0
+	var feed func()
+	feed = func() {
+		if sent >= b.N {
+			return
+		}
+		p := pool.Get()
+		p.Flow, p.Seq, p.Size = 0, int64(sent), 1500
+		sent++
+		l.Send(p)
+		// Feed at exactly the serialization rate so the queue stays shallow.
+		eng.Post(1500/netem.Mbps(1000), feed)
+	}
+	eng.Post(0, feed)
+	eng.Run()
+	if delivered == 0 {
+		b.Fatal("no packets delivered")
+	}
+}

@@ -18,6 +18,9 @@ type CoDel struct {
 	// CapBytes bounds the physical queue (CoDel still needs a hard limit);
 	// negative means unlimited.
 	CapBytes int
+	// Pool, when set, recycles packets dropped at dequeue time by the
+	// control law (enqueue-time rejections are recycled by the Link).
+	Pool *PacketPool
 
 	drops      int64
 	dropping   bool
@@ -75,6 +78,7 @@ func (c *CoDel) Dequeue(now float64) *Packet {
 		for now >= c.dropNext && c.dropping {
 			c.drops++
 			c.dropCount++
+			c.Pool.Put(p)
 			p = c.q.pop()
 			if p == nil {
 				c.dropping = false
@@ -91,6 +95,7 @@ func (c *CoDel) Dequeue(now float64) *Packet {
 	if c.shouldDrop(p, now) {
 		// Enter dropping state: drop this packet and arm the control law.
 		c.drops++
+		c.Pool.Put(p)
 		p2 := c.q.pop()
 		c.dropping = true
 		// Resume from the previous drop frequency if we re-enter quickly

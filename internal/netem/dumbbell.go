@@ -17,8 +17,12 @@ import (
 type Dumbbell struct {
 	Eng        *sim.Engine
 	Bottleneck *Link
+	// Pool, when set, recycles ACKs dropped by reverse-path loss. Assign it
+	// (and Bottleneck.Pool) via UsePool.
+	Pool *PacketPool
 
-	flows map[int]*dumbbellFlow
+	flows  map[int]*dumbbellFlow
+	sendFn func(any)
 }
 
 type dumbbellFlow struct {
@@ -28,6 +32,7 @@ type dumbbellFlow struct {
 	rng      *rand.Rand
 	dataSink func(*Packet)
 	ackSink  func(*Packet)
+	ackFn    func(any)
 }
 
 // NewDumbbell builds a dumbbell with the given bottleneck rate, queue, and
@@ -36,7 +41,32 @@ func NewDumbbell(eng *sim.Engine, q Queue, rateBps, lossRate float64, seeds *sim
 	d := &Dumbbell{Eng: eng, flows: map[int]*dumbbellFlow{}}
 	d.Bottleneck = NewLink(eng, q, rateBps, 0, lossRate, seeds.NextRand())
 	d.Bottleneck.Sink = d.deliverData
+	d.sendFn = func(a any) { d.Bottleneck.Send(a.(*Packet)) }
 	return d
+}
+
+// UsePool routes every drop point of the topology — bottleneck queue
+// rejection, dequeue-time AQM drops (CoDel, including CoDel children under
+// FQ), wire loss, and reverse-path ACK loss — through the given free list.
+// The pool must belong to the same engine/goroutine as the dumbbell.
+func (d *Dumbbell) UsePool(pool *PacketPool) {
+	d.Pool = pool
+	d.Bottleneck.Pool = pool
+	queueUsePool(d.Bottleneck.Queue, pool)
+}
+
+// queueUsePool wires a free list into the queue kinds that drop packets at
+// dequeue time (enqueue-time rejections are recycled by the Link).
+func queueUsePool(q Queue, pool *PacketPool) {
+	switch q := q.(type) {
+	case *CoDel:
+		q.Pool = pool
+	case *FQ:
+		q.Pool = pool
+		for _, fl := range q.flows {
+			queueUsePool(fl.q, pool)
+		}
+	}
 }
 
 // FlowConfig describes one flow's path through the dumbbell.
@@ -59,7 +89,7 @@ func SymmetricRTT(rtt float64) FlowConfig {
 // callbacks. dataSink receives data packets at the receiver; ackSink
 // receives ACKs back at the sender.
 func (d *Dumbbell) AddFlow(id int, cfg FlowConfig, seeds *sim.Seeds, dataSink, ackSink func(*Packet)) {
-	d.flows[id] = &dumbbellFlow{
+	f := &dumbbellFlow{
 		fwdDelay: cfg.FwdDelay,
 		revDelay: cfg.RevDelay,
 		revLoss:  cfg.RevLoss,
@@ -67,6 +97,8 @@ func (d *Dumbbell) AddFlow(id int, cfg FlowConfig, seeds *sim.Seeds, dataSink, a
 		dataSink: dataSink,
 		ackSink:  ackSink,
 	}
+	f.ackFn = func(a any) { f.ackSink(a.(*Packet)) }
+	d.flows[id] = f
 }
 
 // SetFlowDelays changes a flow's propagation delays at runtime (used by the
@@ -83,7 +115,7 @@ func (d *Dumbbell) SendData(p *Packet) {
 	if f == nil {
 		panic("netem: SendData for unregistered flow")
 	}
-	d.Eng.After(f.fwdDelay, func() { d.Bottleneck.Send(p) })
+	d.Eng.PostArg(f.fwdDelay, d.sendFn, p)
 }
 
 // deliverData hands a packet emerging from the bottleneck to its receiver.
@@ -103,8 +135,8 @@ func (d *Dumbbell) SendAck(p *Packet) {
 		panic("netem: SendAck for unregistered flow")
 	}
 	if f.revLoss > 0 && f.rng.Float64() < f.revLoss {
+		d.Pool.Put(p)
 		return
 	}
-	sink := f.ackSink
-	d.Eng.After(f.revDelay, func() { sink(p) })
+	d.Eng.PostArg(f.revDelay, f.ackFn, p)
 }

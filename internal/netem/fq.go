@@ -19,6 +19,9 @@ type FQ struct {
 	// PerFlowBytes caps each default child queue (ignored when NewChild is
 	// set). Negative = unlimited.
 	PerFlowBytes int
+	// Pool is propagated to child queues (created lazily per flow) so their
+	// dequeue-time AQM drops recycle packets.
+	Pool *PacketPool
 
 	flows  map[int]*fqFlow
 	active []*fqFlow // round-robin list of flows with queued packets
@@ -56,6 +59,7 @@ func (f *FQ) flow(id int) *fqFlow {
 		} else {
 			child = NewDropTail(f.PerFlowBytes)
 		}
+		queueUsePool(child, f.Pool)
 		fl = &fqFlow{id: id, q: child}
 		f.flows[id] = fl
 	}

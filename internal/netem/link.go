@@ -36,24 +36,37 @@ type Link struct {
 	// Sink receives packets that survive transmission and loss.
 	Sink func(*Packet)
 
+	// Pool, when set, recycles packets the link drops (queue overflow or
+	// wire loss). It must be the free list of the engine that owns this
+	// link so recycling never crosses goroutines.
+	Pool *PacketPool
+
 	rng       *rand.Rand
 	busy      bool
 	delivered int64
 	lost      int64
 	busyUntil float64
+	// finishFn/deliverFn are allocated once so per-packet scheduling needs
+	// no capturing closures (see sim.Engine.PostArg).
+	finishFn  func(any)
+	deliverFn func(any)
 }
 
 // NewLink builds a link with the given queue and parameters. The rng drives
 // the loss process only; a nil rng disables random loss regardless of
 // LossRate.
 func NewLink(eng *sim.Engine, q Queue, rateBps, delay, lossRate float64, rng *rand.Rand) *Link {
-	return &Link{Eng: eng, Queue: q, Rate: rateBps, Delay: delay, LossRate: lossRate, rng: rng}
+	l := &Link{Eng: eng, Queue: q, Rate: rateBps, Delay: delay, LossRate: lossRate, rng: rng}
+	l.finishFn = func(a any) { l.finish(a.(*Packet)) }
+	l.deliverFn = func(a any) { l.Sink(a.(*Packet)) }
+	return l
 }
 
 // Send offers a packet to the link. Packets rejected by the queue are
 // dropped silently (the queue counts them).
 func (l *Link) Send(p *Packet) {
 	if !l.Queue.Enqueue(p, l.Eng.Now()) {
+		l.Pool.Put(p)
 		return
 	}
 	if !l.busy {
@@ -72,18 +85,16 @@ func (l *Link) transmitNext() {
 	l.busy = true
 	txTime := float64(p.Size) / l.Rate
 	l.busyUntil = l.Eng.Now() + txTime
-	l.Eng.After(txTime, func() {
-		l.finish(p)
-	})
+	l.Eng.PostArg(txTime, l.finishFn, p)
 }
 
 func (l *Link) finish(p *Packet) {
 	if l.LossRate > 0 && l.rng != nil && l.rng.Float64() < l.LossRate {
 		l.lost++
+		l.Pool.Put(p)
 	} else {
 		l.delivered++
-		sink := l.Sink
-		l.Eng.After(l.Delay, func() { sink(p) })
+		l.Eng.PostArg(l.Delay, l.deliverFn, p)
 	}
 	l.transmitNext()
 }

@@ -9,10 +9,14 @@
 // Time is a float64 number of seconds since the start of the simulation.
 // Sub-nanosecond precision is irrelevant at the packet timescales simulated
 // here; float64 keeps the arithmetic in experiment code simple.
+//
+// Engines are not safe for concurrent use; a simulation is a
+// single-threaded computation by design. Parallel experiment runners (see
+// internal/exp) give every trial its own Engine, so all engine-owned
+// resources — the event free list included — stay goroutine-local.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -20,73 +24,135 @@ import (
 // Time is a simulated instant, in seconds since simulation start.
 type Time = float64
 
-// Event is a scheduled callback. The zero Event is invalid.
+// Event is a scheduled callback. The zero Event is invalid. Events are
+// recycled through an engine-owned free list once they fire or are observed
+// dead, so code outside this package must hold Timers, never Events.
 type Event struct {
-	at   Time
-	seq  uint64
+	at  Time
+	seq uint64
+	// gen invalidates Timers pointing at a recycled Event: a Timer is live
+	// only while its stored generation matches the event's.
+	gen uint64
+	// fn is the niladic callback; afn+arg is the closure-free alternative
+	// used by hot paths (packet delivery) to avoid allocating a capturing
+	// closure per event. Exactly one of fn and afn is set.
 	fn   func()
-	idx  int // heap index, -1 when not queued
+	afn  func(any)
+	arg  any
 	dead bool
 }
 
 // Timer is a handle to a scheduled event that can be cancelled or
-// rescheduled. A nil Timer is inert: Stop and Active are safe to call.
+// rescheduled. A nil or zero Timer is inert: Stop and Active are safe to
+// call.
 type Timer struct {
 	ev  *Event
-	eng *Engine
+	gen uint64
+}
+
+// live reports whether the timer still refers to the scheduling it was
+// created for (the underlying event may be recycled after firing).
+func (t *Timer) live() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the call
 // prevented the event from firing.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if !t.live() || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
 	return true
 }
 
-// Active reports whether the timer is still pending.
+// Active reports whether the timer is still pending. (A fired event is
+// recycled before its callback runs, which bumps its generation, so a live
+// undead event is by construction still queued.)
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
+	return t.live() && !t.ev.dead
 }
 
 // When returns the absolute simulated time at which the timer fires.
 // It is meaningful only while Active.
 func (t *Timer) When() Time {
-	if t == nil || t.ev == nil {
+	if !t.live() {
 		return math.Inf(1)
 	}
 	return t.ev.at
 }
 
+// eventHeap is a 4-ary min-heap ordered by (at, seq). It is implemented
+// directly rather than via container/heap: the event loop is the hottest
+// code in the repository and the interface-based heap spends most of its
+// time in Less/Swap dynamic dispatch. The wider fan-out also halves the
+// tree depth relative to a binary heap, which matters for the pop-heavy
+// access pattern of a simulation.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func evLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+
+func (h eventHeap) siftUp(i int) {
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !evLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	ev := h[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if evLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !evLess(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
+
+func (e *Engine) heapPush(ev *Event) {
+	e.events = append(e.events, ev)
+	e.events.siftUp(len(e.events) - 1)
+}
+
+func (e *Engine) heapPop() *Event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.events.siftDown(0)
+	}
+	return top
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
@@ -96,8 +162,11 @@ type Engine struct {
 	now     Time
 	nextSeq uint64
 	events  eventHeap
-	nRun    uint64
-	halted  bool
+	// free recycles fired Events; its size is bounded by the peak number of
+	// simultaneously queued events.
+	free   []*Event
+	nRun   uint64
+	halted bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -112,20 +181,53 @@ func (e *Engine) Now() Time { return e.now }
 // tests and benchmarks.
 func (e *Engine) Processed() uint64 { return e.nRun }
 
-// At schedules fn at absolute time at. Scheduling in the past panics: it is
-// always a bug in the caller, and silently reordering time would corrupt
-// results.
-func (e *Engine) At(at Time, fn func()) *Timer {
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release recycles a popped event. Bumping gen makes every Timer that still
+// points here inert; clearing the callback fields drops references (notably
+// arg, which may pin a pooled packet).
+func (e *Engine) release(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
+
+// schedule queues a recycled or fresh event. Scheduling in the past panics:
+// it is always a bug in the caller, and silently reordering time would
+// corrupt results.
+func (e *Engine) schedule(at Time, fn func(), afn func(any), arg any) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.afn = afn
+	ev.arg = arg
+	ev.dead = false
+	e.nextSeq++
+	e.heapPush(ev)
+	return ev
+}
+
+// At schedules fn at absolute time at.
+func (e *Engine) At(at Time, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{at: at, seq: e.nextSeq, fn: fn, idx: -1}
-	e.nextSeq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev, eng: e}
+	ev := e.schedule(at, fn, nil, nil)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn delay seconds from now. Negative delays are clamped to
@@ -135,6 +237,49 @@ func (e *Engine) After(delay float64, fn func()) *Timer {
 		delay = 0
 	}
 	return e.At(e.now+delay, fn)
+}
+
+// Rearm schedules fn delay seconds from now and stores the handle in *t,
+// replacing whatever t previously referred to. It is the allocation-free
+// equivalent of `*t = *e.After(delay, fn)` for callers that keep a Timer
+// field alive across many reschedules (pacing loops, retransmission
+// timers).
+func (e *Engine) Rearm(t *Timer, delay float64, fn func()) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := e.schedule(e.now+delay, fn, nil, nil)
+	t.ev = ev
+	t.gen = ev.gen
+}
+
+// Post schedules fn delay seconds from now, fire-and-forget: no Timer is
+// allocated, so the event cannot be cancelled.
+func (e *Engine) Post(delay float64, fn func()) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.schedule(e.now+delay, fn, nil, nil)
+}
+
+// PostArg schedules fn(arg) delay seconds from now, fire-and-forget.
+// Because fn is typically a long-lived function value and arg rides in the
+// event itself, hot paths can schedule per-packet work with zero closure
+// allocations.
+func (e *Engine) PostArg(delay float64, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.schedule(e.now+delay, nil, fn, arg)
 }
 
 // Halt stops the run loop after the currently executing event returns.
@@ -155,13 +300,22 @@ func (e *Engine) Pending() int {
 // remains.
 func (e *Engine) step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+		ev := e.heapPop()
 		if ev.dead {
+			e.release(ev)
 			continue
 		}
-		e.now = ev.at
+		at, fn, afn, arg := ev.at, ev.fn, ev.afn, ev.arg
+		// Recycle before running: the callback may schedule new events, and
+		// handing it this slot keeps the free list hot.
+		e.release(ev)
+		e.now = at
 		e.nRun++
-		ev.fn()
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 		return true
 	}
 	return false
@@ -184,7 +338,7 @@ func (e *Engine) RunUntil(deadline Time) {
 		var next *Event
 		for len(e.events) > 0 {
 			if e.events[0].dead {
-				heap.Pop(&e.events)
+				e.release(e.heapPop())
 				continue
 			}
 			next = e.events[0]
