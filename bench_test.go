@@ -258,3 +258,23 @@ func BenchmarkTheoryConvergence(b *testing.B) {
 		b.ReportMetric(ok/float64(len(rep.Rows)), "converged_frac")
 	}
 }
+
+func BenchmarkParkingLot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunParkingLot(benchScale, benchSeed)
+		// Long-flow share on the 3-hop PCC row: the multi-bottleneck squeeze.
+		if r := findRow(rep, "3"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 2), "pcc_long_3hop_Mbps")
+		}
+	}
+}
+
+func BenchmarkRevPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunRevPath(benchScale, benchSeed)
+		// PCC's fat-link retention under ACK congestion (duplex/solo).
+		if r := findRow(rep, "pcc"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 5), "pcc_fwd_ratio")
+		}
+	}
+}

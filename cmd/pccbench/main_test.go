@@ -1,0 +1,32 @@
+package main
+
+import (
+	"slices"
+	"testing"
+
+	"pcc/internal/exp"
+)
+
+// TestListGolden pins the `pccbench -list` output: experiment ids are part
+// of the CLI contract (scripts, CI jobs, EXPERIMENTS.md all refer to them),
+// so the registry must stay stable and sorted. Adding an experiment means
+// updating this golden list — deliberately, in the same change.
+func TestListGolden(t *testing.T) {
+	want := []string{
+		"ablation",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig5", "fig6", "fig7", "fig8", "fig9",
+		"loss50",
+		"parklot",
+		"revpath",
+		"table1",
+		"theory",
+	}
+	got := exp.IDs()
+	if !slices.Equal(got, want) {
+		t.Fatalf("exp.IDs() drifted from the golden list:\n got: %v\nwant: %v", got, want)
+	}
+	if !slices.IsSorted(got) {
+		t.Fatalf("exp.IDs() not sorted: %v", got)
+	}
+}

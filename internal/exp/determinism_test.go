@@ -26,6 +26,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 		{"theory", 0.01, 42},
 		{"fig10", 0.01, 42},
 		{"fig17", 0.01, 1},
+		// Routed multi-link topologies: parking-lot (mid-run Poisson flow
+		// spawning over multi-hop routes) and the congested-reverse-path
+		// pair must also be byte-identical at any worker count.
+		{"parklot", 0.01, 42},
+		{"revpath", 0.01, 42},
 	}
 	for _, tc := range cases {
 		t.Run(tc.id, func(t *testing.T) {
@@ -53,8 +58,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 // changes.
 func TestTrialSeedStable(t *testing.T) {
 	t.Parallel()
-	if TrialSeed(1, 0) != TrialSeed(1, 0) {
-		t.Fatal("TrialSeed not deterministic")
+	// Golden values: changing the SplitMix64 derivation invalidates every
+	// recorded experiment output, so the mapping is pinned, not just checked
+	// for self-consistency.
+	if got := TrialSeed(42, 0); got != -4767286540954276203 {
+		t.Fatalf("TrialSeed(42, 0) = %d, want -4767286540954276203 (derivation changed!)", got)
+	}
+	if got := TrialSeed(1, 7); got != -8797857673641491083 {
+		t.Fatalf("TrialSeed(1, 7) = %d, want -8797857673641491083 (derivation changed!)", got)
 	}
 	seen := map[int64]bool{}
 	for root := int64(0); root < 4; root++ {

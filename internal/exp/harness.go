@@ -16,6 +16,37 @@ import (
 	"pcc/internal/tcp"
 )
 
+// LinkSpec describes one directed link of a TopologySpec.
+type LinkSpec struct {
+	// Name registers the link for route references.
+	Name string
+	// From/To are the node names the link joins.
+	From, To string
+	// RateMbps is the link capacity in Mbps.
+	RateMbps float64
+	// Delay is the link's one-way propagation delay, seconds.
+	Delay float64
+	// Loss is the link's Bernoulli wire-loss probability.
+	Loss float64
+	// BufBytes is the link queue capacity in bytes.
+	BufBytes int
+	// QueueKind selects the AQM, as in PathSpec ("" = droptail).
+	QueueKind string
+}
+
+// TopologySpec describes a general multi-link network for experiments the
+// dumbbell cannot express: multiple bottlenecks in series, congested ACK
+// paths, cross-traffic on interior links. Flows on a topology runner carry
+// explicit routes in their FlowSpec (FwdRoute/RevRoute).
+type TopologySpec struct {
+	// Links are created in order; each draws one RNG stream from the root
+	// seed for its wire-loss process, so adding a link never perturbs the
+	// draws earlier links see.
+	Links []LinkSpec
+	// Seed roots all randomness for the run.
+	Seed int64
+}
+
 // PathSpec describes the shared bottleneck of a dumbbell.
 type PathSpec struct {
 	// RateMbps is the bottleneck capacity in Mbps.
@@ -41,7 +72,8 @@ type FlowSpec struct {
 	Proto string
 	// RTT overrides the path RTT for this flow (0 = path default).
 	RTT float64
-	// RevLoss is ACK-path Bernoulli loss.
+	// RevLoss is ACK-path Bernoulli loss (dumbbell runners only; a
+	// topology route expresses ACK loss with netem.LossyDelayHop).
 	RevLoss float64
 	// StartAt is the flow's start time, seconds.
 	StartAt float64
@@ -58,6 +90,12 @@ type FlowSpec struct {
 	CapacityHint float64
 	// TraceRate records the rate-based sender's target-rate trace.
 	TraceRate bool
+	// FwdRoute/RevRoute are the flow's explicit routes on a topology
+	// runner (hop chains over named links and delay segments). Both must be
+	// set together; leave empty on a dumbbell runner. When RTT is 0 it is
+	// inferred from the routes' propagation delays.
+	FwdRoute []netem.HopSpec
+	RevRoute []netem.HopSpec
 }
 
 // Flow is a running flow's handle.
@@ -71,57 +109,147 @@ type Flow struct {
 	DoneAt float64 // completion time for finite flows; -1 while running
 }
 
-// Runner assembles and runs one dumbbell simulation. A Runner (like its
+// Runner assembles and runs one simulation — a dumbbell (NewRunner) or a
+// general multi-link topology (NewTopologyRunner). A Runner (like its
 // Engine) is single-threaded; parallel experiments give every trial its own
 // Runner (see pool.go), which also keeps the packet free list goroutine-local.
 type Runner struct {
 	Eng   *sim.Engine
 	Seeds *sim.Seeds
-	Net   *netem.Dumbbell
+	// Net is the dumbbell view; nil on a topology runner.
+	Net *netem.Dumbbell
+	// Topo is the underlying network graph, set on every runner (a
+	// dumbbell is a two-node topology).
+	Topo  *netem.Topology
 	Path  PathSpec
 	Flows []*Flow
 	// PktPool recycles packets across all flows of this runner.
 	PktPool *netem.PacketPool
 }
 
+// makeQueue builds the AQM a Path/LinkSpec asks for.
+func makeQueue(kind string, bufBytes int) netem.Queue {
+	switch kind {
+	case "", "droptail":
+		return netem.NewDropTail(bufBytes)
+	case "codel":
+		return netem.NewCoDel(bufBytes)
+	case "fq":
+		return netem.NewFQ(bufBytes)
+	case "fqcodel":
+		return netem.NewFQCoDel(bufBytes)
+	default:
+		panic(fmt.Sprintf("exp: unknown queue kind %q", kind))
+	}
+}
+
 // NewRunner builds the dumbbell for the given path.
 func NewRunner(p PathSpec) *Runner {
 	eng := sim.NewEngine()
 	seeds := sim.NewSeeds(p.Seed)
-	var q netem.Queue
-	switch p.QueueKind {
-	case "", "droptail":
-		q = netem.NewDropTail(p.BufBytes)
-	case "codel":
-		q = netem.NewCoDel(p.BufBytes)
-	case "fq":
-		q = netem.NewFQ(p.BufBytes)
-	case "fqcodel":
-		q = netem.NewFQCoDel(p.BufBytes)
-	default:
-		panic(fmt.Sprintf("exp: unknown queue kind %q", p.QueueKind))
-	}
-	net := netem.NewDumbbell(eng, q, netem.Mbps(p.RateMbps), p.Loss, seeds)
+	net := netem.NewDumbbell(eng, makeQueue(p.QueueKind, p.BufBytes), netem.Mbps(p.RateMbps), p.Loss, seeds)
 	pool := &netem.PacketPool{}
 	net.UsePool(pool)
-	return &Runner{Eng: eng, Seeds: seeds, Net: net, Path: p, PktPool: pool}
+	return &Runner{Eng: eng, Seeds: seeds, Net: net, Topo: net.Topo, Path: p, PktPool: pool}
 }
 
-// Capacity returns the bottleneck capacity in bytes/s.
+// NewTopologyRunner builds a runner over a general network graph. Flows
+// added to it must carry explicit FwdRoute/RevRoute hop chains.
+func NewTopologyRunner(ts TopologySpec) *Runner {
+	eng := sim.NewEngine()
+	seeds := sim.NewSeeds(ts.Seed)
+	topo := netem.NewTopology(eng)
+	pool := &netem.PacketPool{}
+	topo.UsePool(pool)
+	for _, ls := range ts.Links {
+		topo.AddLink(ls.Name, ls.From, ls.To, makeQueue(ls.QueueKind, ls.BufBytes),
+			netem.Mbps(ls.RateMbps), ls.Delay, ls.Loss, seeds.NextRand())
+	}
+	return &Runner{Eng: eng, Seeds: seeds, Topo: topo, Path: PathSpec{Seed: ts.Seed}, PktPool: pool}
+}
+
+// Capacity returns the dumbbell bottleneck capacity in bytes/s. On a
+// topology runner there is no single bottleneck and Capacity returns 0;
+// use RouteCapacity with a flow's route instead.
 func (r *Runner) Capacity() float64 { return netem.Mbps(r.Path.RateMbps) }
 
-// AddFlow registers a flow; it will start at spec.StartAt.
+// RouteCapacity returns the narrowest link rate along a route, bytes/s
+// (falling back to the dumbbell capacity for a link-less route; 0 means
+// the route is unconstrained — pure delay hops on a topology runner).
+func (r *Runner) RouteCapacity(route []netem.HopSpec) float64 {
+	c := 0.0
+	for _, h := range route {
+		if h.Link == "" {
+			continue
+		}
+		l := r.Topo.LinkByName(h.Link)
+		if l == nil {
+			panic(fmt.Sprintf("exp: route references unknown link %q", h.Link))
+		}
+		if c == 0 || l.Rate < c {
+			c = l.Rate
+		}
+	}
+	if c == 0 {
+		c = r.Capacity()
+	}
+	return c
+}
+
+// routeRTT sums the propagation delays of both routes (serialization
+// excluded) — the minimum RTT a packet on these routes can see.
+func (r *Runner) routeRTT(fwd, rev []netem.HopSpec) float64 {
+	sum := 0.0
+	for _, route := range [][]netem.HopSpec{fwd, rev} {
+		for _, h := range route {
+			if h.Link != "" {
+				l := r.Topo.LinkByName(h.Link)
+				if l == nil {
+					panic(fmt.Sprintf("exp: route references unknown link %q", h.Link))
+				}
+				sum += l.Delay
+			} else {
+				sum += h.Delay
+			}
+		}
+	}
+	return sum
+}
+
+// AddFlow registers a flow; it will start at spec.StartAt. On a topology
+// runner the spec must carry FwdRoute/RevRoute; on a dumbbell runner the
+// flow's path is the shared bottleneck with RTT/RevLoss access segments.
+// AddFlow may be called while the simulation is running (cross-traffic
+// generators) provided StartAt is not in the past.
 func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	id := len(r.Flows)
+	topoFlow := len(spec.FwdRoute) > 0
+	if r.Net == nil && !topoFlow {
+		panic("exp: flows on a topology runner need FwdRoute/RevRoute")
+	}
+	if topoFlow != (len(spec.RevRoute) > 0) {
+		panic("exp: FwdRoute and RevRoute must be set together")
+	}
+	if topoFlow && spec.RevLoss != 0 {
+		panic("exp: RevLoss is ignored on explicit routes; use netem.LossyDelayHop in RevRoute")
+	}
 	rtt := spec.RTT
 	if rtt <= 0 {
-		rtt = r.Path.RTT
+		if topoFlow {
+			rtt = r.routeRTT(spec.FwdRoute, spec.RevRoute)
+		} else {
+			rtt = r.Path.RTT
+		}
+	}
+	capacity := r.Capacity()
+	if topoFlow {
+		capacity = r.RouteCapacity(spec.FwdRoute)
 	}
 	f := &Flow{ID: id, Spec: spec, DoneAt: -1}
 	r.Flows = append(r.Flows, f)
 	f.Recv = cc.NewReceiver(r.Eng, id)
 	f.Recv.Pool = r.PktPool
-	f.Recv.SendAck = r.Net.SendAck
+	f.Recv.SendAck = r.Topo.SendAck
 	f.Recv.Bucket = spec.Bucket
 	var flowPkts int64
 	if spec.FlowKB > 0 {
@@ -130,6 +258,15 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	}
 
 	cfg := netem.FlowConfig{FwdDelay: rtt / 2, RevDelay: rtt / 2, RevLoss: spec.RevLoss}
+	// addPath registers the flow's route(s) with the network; it draws one
+	// RNG stream from r.Seeds either way.
+	addPath := func(dataSink, ackSink func(*netem.Packet)) {
+		if topoFlow {
+			r.Topo.AddFlow(id, spec.FwdRoute, spec.RevRoute, r.Seeds, dataSink, ackSink)
+		} else {
+			r.Net.AddFlow(id, cfg, r.Seeds, dataSink, ackSink)
+		}
+	}
 
 	switch spec.Proto {
 	case "pcc":
@@ -142,17 +279,20 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		}
 		algo := core.New(pcfg, r.Seeds.NextRand())
 		f.PCC = algo
-		f.RS = cc.NewRateSender(r.Eng, id, algo, r.Net.SendData)
+		f.RS = cc.NewRateSender(r.Eng, id, algo, r.Topo.SendData)
 	case "sabul":
 		hint := spec.CapacityHint
 		if hint <= 0 {
-			hint = r.Capacity()
+			hint = capacity
 		}
-		f.RS = cc.NewRateSender(r.Eng, id, baseline.NewSabul(hint), r.Net.SendData)
+		if hint <= 0 {
+			panic("exp: sabul on a link-less route needs CapacityHint")
+		}
+		f.RS = cc.NewRateSender(r.Eng, id, baseline.NewSabul(hint), r.Topo.SendData)
 	case "pcp":
-		f.RS = cc.NewRateSender(r.Eng, id, baseline.NewPCP(0), r.Net.SendData)
+		f.RS = cc.NewRateSender(r.Eng, id, baseline.NewPCP(0), r.Topo.SendData)
 	case "pacing":
-		f.WS = cc.NewWindowSender(r.Eng, id, tcp.NewReno(), r.Net.SendData)
+		f.WS = cc.NewWindowSender(r.Eng, id, tcp.NewReno(), r.Topo.SendData)
 		f.WS.Paced = true
 		f.WS.RTTHint = rtt
 	default:
@@ -160,13 +300,14 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		if err != nil {
 			panic(err)
 		}
-		f.WS = cc.NewWindowSender(r.Eng, id, algo, r.Net.SendData)
+		f.WS = cc.NewWindowSender(r.Eng, id, algo, r.Topo.SendData)
 		f.WS.RTTHint = rtt
 	}
-	if f.WS != nil {
+	if f.WS != nil && capacity > 0 {
 		// Socket-buffer-like clamp: 8x the path BDP, floored generously so
-		// small-BDP paths still allow bursts.
-		bdpPkts := r.Capacity() * rtt / cc.MSS
+		// small-BDP paths still allow bursts. An unconstrained (link-less)
+		// route keeps the sender's default window bound.
+		bdpPkts := capacity * rtt / cc.MSS
 		f.WS.MaxCwnd = 8*bdpPkts + 1000
 	}
 
@@ -176,16 +317,27 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		f.RS.RTTHint = rtt
 		f.RS.TraceRate = spec.TraceRate
 		f.RS.OnDone = func(now float64) { f.DoneAt = now }
-		r.Net.AddFlow(id, cfg, r.Seeds, f.Recv.OnData, f.RS.OnAck)
+		addPath(f.Recv.OnData, f.RS.OnAck)
 		r.Eng.At(spec.StartAt, f.RS.Start)
 	} else {
 		f.WS.Pool = r.PktPool
 		f.WS.FlowPackets = flowPkts
 		f.WS.OnDone = func(now float64) { f.DoneAt = now }
-		r.Net.AddFlow(id, cfg, r.Seeds, f.Recv.OnData, f.WS.OnAck)
+		addPath(f.Recv.OnData, f.WS.OnAck)
 		r.Eng.At(spec.StartAt, f.WS.Start)
 	}
 	return f
+}
+
+// LinkStatsNotes renders the runner's per-link accounting as report notes
+// (AddLink order, so output is deterministic).
+func (r *Runner) LinkStatsNotes() []string {
+	var out []string
+	for _, s := range r.Topo.Stats() {
+		out = append(out, fmt.Sprintf("link %s: delivered=%d wire_lost=%d queue_dropped=%d",
+			s.Name, s.Delivered, s.WireLost, s.QueueDropped))
+	}
+	return out
 }
 
 // Run advances the simulation to the given time (seconds).

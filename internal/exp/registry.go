@@ -29,6 +29,8 @@ var drivers = map[string]Driver{
 	"loss50":   RunLossResilient,
 	"theory":   RunTheory,
 	"ablation": RunAblation,
+	"parklot":  RunParkingLot,
+	"revpath":  RunRevPath,
 }
 
 // Run dispatches an experiment by ID.

@@ -1,13 +1,17 @@
 package exp
 
-import "testing"
+import (
+	"testing"
+
+	"pcc/internal/netem"
+)
 
 // TestPCCSmokeTracksCapacity is the foundational integration check: a single
 // PCC flow on a clean 100 Mbps / 30 ms / BDP-buffer path should converge to
 // a large fraction of capacity.
 func TestPCCSmokeTracksCapacity(t *testing.T) {
 	t.Parallel()
-	r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem_KB, Seed: 1})
+	r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: 1})
 	f := r.AddFlow(FlowSpec{Proto: "pcc"})
 	r.Run(30)
 	got := f.GoodputMbps(30)
@@ -17,14 +21,12 @@ func TestPCCSmokeTracksCapacity(t *testing.T) {
 	t.Logf("PCC goodput = %.1f Mbps", got)
 }
 
-const netem_KB = 1000
-
 // TestTCPSmokeTracksCapacity: New Reno and CUBIC should also fill a clean
 // path with a BDP buffer.
 func TestTCPSmokeTracksCapacity(t *testing.T) {
 	t.Parallel()
 	for _, proto := range []string{"newreno", "cubic", "illinois"} {
-		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem_KB, Seed: 1})
+		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: 1})
 		f := r.AddFlow(FlowSpec{Proto: proto})
 		r.Run(30)
 		got := f.GoodputMbps(30)

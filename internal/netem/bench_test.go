@@ -41,3 +41,50 @@ func BenchmarkLinkForward(b *testing.B) {
 		b.Fatal("no packets delivered")
 	}
 }
+
+// BenchmarkTopologyForward3Hop measures the per-packet cost of a routed
+// 3-hop path (access delay hop + three store-and-forward links) through a
+// general Topology. The multi-hop fast path must stay 0 allocs/op: all
+// route scheduling is closure-free and every delivery recycles through the
+// engine-local free list.
+func BenchmarkTopologyForward3Hop(b *testing.B) {
+	eng := sim.NewEngine()
+	pool := &netem.PacketPool{}
+	topo := netem.NewTopology(eng)
+	topo.UsePool(pool)
+	nodes := []string{"A", "B", "C", "D"}
+	for i := 0; i < 3; i++ {
+		topo.AddLink(nodes[i]+nodes[i+1], nodes[i], nodes[i+1],
+			netem.NewDropTail(64*netem.KB), netem.Mbps(1000), 0.0001, 0, nil)
+	}
+	delivered := 0
+	topo.AddFlow(0,
+		[]netem.HopSpec{netem.DelayHop(0.0001), netem.LinkHop("AB"), netem.LinkHop("BC"), netem.LinkHop("CD")},
+		[]netem.HopSpec{netem.DelayHop(0.0001)},
+		sim.NewSeeds(1),
+		func(p *netem.Packet) {
+			delivered++
+			pool.Put(p)
+		},
+		nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := 0
+	var feed func()
+	feed = func() {
+		if sent >= b.N {
+			return
+		}
+		p := pool.Get()
+		p.Flow, p.Seq, p.Size = 0, int64(sent), 1500
+		sent++
+		topo.SendData(p)
+		// Feed at exactly the serialization rate so queues stay shallow.
+		eng.Post(1500/netem.Mbps(1000), feed)
+	}
+	eng.Post(0, feed)
+	eng.Run()
+	if delivered == 0 {
+		b.Fatal("no packets delivered")
+	}
+}

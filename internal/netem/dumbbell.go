@@ -1,47 +1,41 @@
 package netem
 
 import (
-	"math/rand"
+	"fmt"
 
 	"pcc/internal/sim"
 )
 
-// Dumbbell is the topology used by every experiment in the paper: n senders
+// Dumbbell is the topology used by most experiments in the paper: n senders
 // share one bottleneck link toward their receivers. Per-flow access
 // propagation delays model heterogeneous RTTs (§4.1.5); the acknowledgment
 // path is uncongested but may have its own propagation delay and random
 // loss (§4.1.4 injects loss "on both forward and backward paths").
 //
-// All propagation delay lives in the per-flow forward/reverse delays; the
-// bottleneck link contributes only queueing plus serialization.
+// Since the general-topology refactor, Dumbbell is a thin constructor over
+// Topology: each flow's forward route is [access-delay hop, bottleneck
+// link] and its reverse route a single delay hop with optional Bernoulli
+// loss — exactly the event and RNG sequence of the original hardwired
+// implementation, so recorded experiment outputs are unchanged. All
+// propagation delay lives in the per-flow access hops; the bottleneck link
+// contributes only queueing plus serialization.
 type Dumbbell struct {
-	Eng        *sim.Engine
+	Eng *sim.Engine
+	// Topo is the underlying graph; use it for per-link stats or to layer
+	// extra links/routes onto a dumbbell-based experiment. Topo.Pool holds
+	// the free list UsePool installs.
+	Topo       *Topology
 	Bottleneck *Link
-	// Pool, when set, recycles ACKs dropped by reverse-path loss. Assign it
-	// (and Bottleneck.Pool) via UsePool.
-	Pool *PacketPool
-
-	flows  map[int]*dumbbellFlow
-	sendFn func(any)
 }
 
-type dumbbellFlow struct {
-	fwdDelay float64
-	revDelay float64
-	revLoss  float64
-	rng      *rand.Rand
-	dataSink func(*Packet)
-	ackSink  func(*Packet)
-	ackFn    func(any)
-}
+// BottleneckLink is the name Dumbbell registers its shared link under.
+const BottleneckLink = "bottleneck"
 
 // NewDumbbell builds a dumbbell with the given bottleneck rate, queue, and
 // wire loss. The loss rng is derived from seeds.
 func NewDumbbell(eng *sim.Engine, q Queue, rateBps, lossRate float64, seeds *sim.Seeds) *Dumbbell {
-	d := &Dumbbell{Eng: eng, flows: map[int]*dumbbellFlow{}}
-	d.Bottleneck = NewLink(eng, q, rateBps, 0, lossRate, seeds.NextRand())
-	d.Bottleneck.Sink = d.deliverData
-	d.sendFn = func(a any) { d.Bottleneck.Send(a.(*Packet)) }
+	d := &Dumbbell{Eng: eng, Topo: NewTopology(eng)}
+	d.Bottleneck = d.Topo.AddLink(BottleneckLink, "senders", "receivers", q, rateBps, 0, lossRate, seeds.NextRand())
 	return d
 }
 
@@ -50,23 +44,7 @@ func NewDumbbell(eng *sim.Engine, q Queue, rateBps, lossRate float64, seeds *sim
 // FQ), wire loss, and reverse-path ACK loss — through the given free list.
 // The pool must belong to the same engine/goroutine as the dumbbell.
 func (d *Dumbbell) UsePool(pool *PacketPool) {
-	d.Pool = pool
-	d.Bottleneck.Pool = pool
-	queueUsePool(d.Bottleneck.Queue, pool)
-}
-
-// queueUsePool wires a free list into the queue kinds that drop packets at
-// dequeue time (enqueue-time rejections are recycled by the Link).
-func queueUsePool(q Queue, pool *PacketPool) {
-	switch q := q.(type) {
-	case *CoDel:
-		q.Pool = pool
-	case *FQ:
-		q.Pool = pool
-		for _, fl := range q.flows {
-			queueUsePool(fl.q, pool)
-		}
-	}
+	d.Topo.UsePool(pool)
 }
 
 // FlowConfig describes one flow's path through the dumbbell.
@@ -89,54 +67,26 @@ func SymmetricRTT(rtt float64) FlowConfig {
 // callbacks. dataSink receives data packets at the receiver; ackSink
 // receives ACKs back at the sender.
 func (d *Dumbbell) AddFlow(id int, cfg FlowConfig, seeds *sim.Seeds, dataSink, ackSink func(*Packet)) {
-	f := &dumbbellFlow{
-		fwdDelay: cfg.FwdDelay,
-		revDelay: cfg.RevDelay,
-		revLoss:  cfg.RevLoss,
-		rng:      seeds.NextRand(),
-		dataSink: dataSink,
-		ackSink:  ackSink,
-	}
-	f.ackFn = func(a any) { f.ackSink(a.(*Packet)) }
-	d.flows[id] = f
+	d.Topo.AddFlow(id,
+		[]HopSpec{DelayHop(cfg.FwdDelay), LinkHop(BottleneckLink)},
+		[]HopSpec{LossyDelayHop(cfg.RevDelay, cfg.RevLoss)},
+		seeds, dataSink, ackSink)
 }
 
 // SetFlowDelays changes a flow's propagation delays at runtime (used by the
 // rapidly-changing-network experiment).
 func (d *Dumbbell) SetFlowDelays(id int, fwd, rev float64) {
-	f := d.flows[id]
-	f.fwdDelay = fwd
-	f.revDelay = rev
+	fr, rr := d.Topo.FlowRoutes(id)
+	if fr == nil {
+		panic(fmt.Sprintf("netem: SetFlowDelays for unregistered flow %d", id))
+	}
+	fr.SetDelay(0, fwd)
+	rr.SetDelay(0, rev)
 }
 
 // SendData injects a data packet at flow p.Flow's sender.
-func (d *Dumbbell) SendData(p *Packet) {
-	f := d.flows[p.Flow]
-	if f == nil {
-		panic("netem: SendData for unregistered flow")
-	}
-	d.Eng.PostArg(f.fwdDelay, d.sendFn, p)
-}
-
-// deliverData hands a packet emerging from the bottleneck to its receiver.
-func (d *Dumbbell) deliverData(p *Packet) {
-	f := d.flows[p.Flow]
-	if f == nil || f.dataSink == nil {
-		return
-	}
-	f.dataSink(p)
-}
+func (d *Dumbbell) SendData(p *Packet) { d.Topo.SendData(p) }
 
 // SendAck injects an ACK at flow p.Flow's receiver; it traverses the
 // uncongested reverse path, subject to reverse loss.
-func (d *Dumbbell) SendAck(p *Packet) {
-	f := d.flows[p.Flow]
-	if f == nil {
-		panic("netem: SendAck for unregistered flow")
-	}
-	if f.revLoss > 0 && f.rng.Float64() < f.revLoss {
-		d.Pool.Put(p)
-		return
-	}
-	d.Eng.PostArg(f.revDelay, f.ackFn, p)
-}
+func (d *Dumbbell) SendAck(p *Packet) { d.Topo.SendAck(p) }

@@ -1,0 +1,355 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcc/internal/sim"
+)
+
+// Topology is a general network graph: named nodes joined by directed Links,
+// with every flow assigned an explicit forward and reverse route (an ordered
+// chain of hops). It generalizes the dumbbell every paper experiment runs
+// on — multiple bottlenecks in series (parking lot), congested ACK paths
+// (data and ACKs of opposing flows sharing a link), and cross-traffic that
+// touches only a subset of hops — while keeping the simulator's invariants:
+// all scheduling is closure-free (PostArg with per-route functions allocated
+// once at registration), every drop point recycles through the topology's
+// PacketPool, and for a fixed seed the event sequence is bit-reproducible.
+//
+// A route hop is either
+//
+//   - a link hop: the packet is offered to a shared store-and-forward Link
+//     (queueing + serialization + propagation + wire loss), or
+//   - a delay hop: a pure propagation delay with optional Bernoulli loss and
+//     no queueing — the per-flow access segments of the dumbbell.
+//
+// Each Link keeps its own Delivered/WireLost counters and its queue counts
+// drops, so per-hop accounting holds at every link of a route:
+// packets offered = delivered + wire-lost + queue-dropped.
+type Topology struct {
+	Eng *sim.Engine
+	// Pool, when set via UsePool, recycles every packet the topology drops:
+	// queue rejections, AQM drops, wire loss, and delay-hop loss. It must
+	// belong to the same engine/goroutine as the topology.
+	Pool *PacketPool
+
+	links  []*linkInfo
+	byName map[string]*linkInfo
+	flows  map[int]*topoFlow
+}
+
+// linkInfo is a Link plus its place in the graph and the per-flow routing
+// tables consulted when a packet exits the link.
+type linkInfo struct {
+	link     *Link
+	name     string
+	from, to string
+	// data/ack map a flow id to the route hop that traverses this link, so
+	// the link's exit can continue the packet along its route. A nil entry
+	// means the flow does not route over this link in that direction.
+	data map[int]*hop
+	ack  map[int]*hop
+}
+
+// dispatch is the link's Sink: it looks up the exiting packet's route hop
+// and forwards along the route. Packets of unrouted flows are recycled.
+func (li *linkInfo) dispatch(t *Topology, p *Packet) {
+	m := li.data
+	if p.Ack {
+		m = li.ack
+	}
+	if h := m[p.Flow]; h != nil {
+		h.forward(p)
+		return
+	}
+	t.Pool.Put(p)
+}
+
+// topoFlow is one registered flow: its two routes.
+type topoFlow struct {
+	fwd, rev *Route
+}
+
+// hop is one step of one flow's route in one direction. Exactly one of link
+// and the delay/loss fields is meaningful.
+type hop struct {
+	t    *Topology
+	link *linkInfo // link hop when non-nil
+
+	delay float64 // delay hop: one-way propagation, seconds (mutable)
+	loss  float64 // delay hop: Bernoulli loss probability (mutable)
+	rng   *rand.Rand
+
+	next *hop          // nil ⇒ this is the last hop
+	sink func(*Packet) // terminal delivery, set on the last hop only
+	// deliverFn is the PostArg target of delay hops, allocated once here so
+	// the per-packet path schedules without capturing closures.
+	deliverFn func(any)
+}
+
+// enter offers a packet to this hop.
+func (h *hop) enter(p *Packet) {
+	if h.link != nil {
+		h.link.link.Send(p)
+		return
+	}
+	if h.loss > 0 && h.rng != nil && h.rng.Float64() < h.loss {
+		h.t.Pool.Put(p)
+		return
+	}
+	h.t.Eng.PostArg(h.delay, h.deliverFn, p)
+}
+
+// forward moves a packet that finished this hop to the next one, or delivers
+// it at the end of the route.
+func (h *hop) forward(p *Packet) {
+	if h.next != nil {
+		h.next.enter(p)
+		return
+	}
+	if h.sink != nil {
+		h.sink(p)
+		return
+	}
+	h.t.Pool.Put(p)
+}
+
+// Route is one direction of a flow's path through the topology.
+type Route struct {
+	hops []*hop
+}
+
+// SetDelay updates the propagation delay of hop i, which must be a delay
+// hop (used by the rapidly-changing-network experiment).
+func (r *Route) SetDelay(i int, delay float64) {
+	h := r.hops[i]
+	if h.link != nil {
+		panic(fmt.Sprintf("netem: SetDelay on link hop %d (adjust the Link instead)", i))
+	}
+	h.delay = delay
+}
+
+// SetLoss updates the Bernoulli loss probability of delay hop i.
+func (r *Route) SetLoss(i int, loss float64) {
+	h := r.hops[i]
+	if h.link != nil {
+		panic(fmt.Sprintf("netem: SetLoss on link hop %d (adjust the Link instead)", i))
+	}
+	h.loss = loss
+}
+
+// HopSpec describes one hop of a route: either a named link of the topology
+// (Link != ""), or a pure propagation-delay hop with optional Bernoulli
+// loss. The zero HopSpec is a zero-delay hop.
+type HopSpec struct {
+	// Link names a link registered with AddLink.
+	Link string
+	// Delay is the one-way propagation delay of a delay hop, seconds.
+	Delay float64
+	// Loss is the Bernoulli loss probability of a delay hop.
+	Loss float64
+}
+
+// LinkHop routes over the named link.
+func LinkHop(name string) HopSpec { return HopSpec{Link: name} }
+
+// DelayHop is a pure propagation segment.
+func DelayHop(delay float64) HopSpec { return HopSpec{Delay: delay} }
+
+// LossyDelayHop is a propagation segment with Bernoulli loss (the
+// uncongested-but-lossy reverse path of §4.1.4).
+func LossyDelayHop(delay, loss float64) HopSpec { return HopSpec{Delay: delay, Loss: loss} }
+
+// NewTopology returns an empty topology on the given engine.
+func NewTopology(eng *sim.Engine) *Topology {
+	return &Topology{
+		Eng:    eng,
+		byName: map[string]*linkInfo{},
+		flows:  map[int]*topoFlow{},
+	}
+}
+
+// AddLink creates the directed link from→to and registers it under name.
+// Nodes exist implicitly as link endpoints. The rng drives the link's wire
+// loss process only; nil disables random loss. If UsePool was already
+// called, the new link joins the pool.
+func (t *Topology) AddLink(name, from, to string, q Queue, rateBps, delay, lossRate float64, rng *rand.Rand) *Link {
+	if t.byName[name] != nil {
+		panic(fmt.Sprintf("netem: duplicate link %q", name))
+	}
+	li := &linkInfo{
+		name: name, from: from, to: to,
+		data: map[int]*hop{},
+		ack:  map[int]*hop{},
+	}
+	li.link = NewLink(t.Eng, q, rateBps, delay, lossRate, rng)
+	li.link.Sink = func(p *Packet) { li.dispatch(t, p) }
+	if t.Pool != nil {
+		li.link.Pool = t.Pool
+		queueUsePool(q, t.Pool)
+	}
+	t.links = append(t.links, li)
+	t.byName[name] = li
+	return li.link
+}
+
+// LinkByName returns the named link (nil if absent), for runtime parameter
+// changes and per-link assertions.
+func (t *Topology) LinkByName(name string) *Link {
+	if li := t.byName[name]; li != nil {
+		return li.link
+	}
+	return nil
+}
+
+// queueUsePool wires a free list into the queue kinds that drop packets at
+// dequeue time (enqueue-time rejections are recycled by the Link).
+func queueUsePool(q Queue, pool *PacketPool) {
+	switch q := q.(type) {
+	case *CoDel:
+		q.Pool = pool
+	case *FQ:
+		q.Pool = pool
+		for _, fl := range q.flows {
+			queueUsePool(fl.q, pool)
+		}
+	}
+}
+
+// UsePool routes every drop point of the topology — queue rejection,
+// dequeue-time AQM drops, wire loss, and delay-hop loss — through the given
+// free list. Links added later join the pool automatically.
+func (t *Topology) UsePool(pool *PacketPool) {
+	t.Pool = pool
+	for _, li := range t.links {
+		li.link.Pool = pool
+		queueUsePool(li.link.Queue, pool)
+	}
+}
+
+// AddFlow registers flow id with explicit forward and reverse routes and
+// delivery callbacks: dataSink receives data packets at the end of the
+// forward route, ackSink receives ACKs at the end of the reverse route.
+// Exactly one RNG stream is drawn from seeds per flow — shared by the lossy
+// delay hops of both routes — so adding or removing loss on a hop never
+// perturbs the draws other components see.
+//
+// Consecutive link hops must connect head-to-tail in the graph; delay hops
+// are node-less access/propagation segments and may appear anywhere. A flow
+// may traverse a given link at most once per direction.
+func (t *Topology) AddFlow(id int, fwd, rev []HopSpec, seeds *sim.Seeds, dataSink, ackSink func(*Packet)) (fwdRoute, revRoute *Route) {
+	if t.flows[id] != nil {
+		panic(fmt.Sprintf("netem: duplicate flow %d", id))
+	}
+	rng := seeds.NextRand()
+	f := &topoFlow{
+		fwd: t.buildRoute(id, false, fwd, rng, dataSink),
+		rev: t.buildRoute(id, true, rev, rng, ackSink),
+	}
+	t.flows[id] = f
+	return f.fwd, f.rev
+}
+
+// buildRoute assembles and registers one direction of a flow's path.
+func (t *Topology) buildRoute(id int, ack bool, specs []HopSpec, rng *rand.Rand, sink func(*Packet)) *Route {
+	if len(specs) == 0 {
+		panic(fmt.Sprintf("netem: empty route for flow %d", id))
+	}
+	dir := "data"
+	if ack {
+		dir = "ack"
+	}
+	r := &Route{hops: make([]*hop, 0, len(specs))}
+	at := "" // current node, once a link hop pins it
+	for _, hs := range specs {
+		h := &hop{t: t}
+		if hs.Link != "" {
+			if hs.Delay != 0 || hs.Loss != 0 {
+				panic(fmt.Sprintf("netem: flow %d hop over link %q also sets Delay/Loss (a link hop uses the Link's own parameters; add a separate delay hop)", id, hs.Link))
+			}
+			li := t.byName[hs.Link]
+			if li == nil {
+				panic(fmt.Sprintf("netem: flow %d routes over unknown link %q", id, hs.Link))
+			}
+			if at != "" && at != li.from {
+				panic(fmt.Sprintf("netem: flow %d %s route is disconnected: at node %q but link %q starts at %q",
+					id, dir, at, hs.Link, li.from))
+			}
+			at = li.to
+			m := li.data
+			if ack {
+				m = li.ack
+			}
+			if m[id] != nil {
+				panic(fmt.Sprintf("netem: flow %d traverses link %q twice on its %s route", id, hs.Link, dir))
+			}
+			h.link = li
+			m[id] = h
+		} else {
+			h.delay = hs.Delay
+			h.loss = hs.Loss
+			h.rng = rng
+			h.deliverFn = func(a any) { h.forward(a.(*Packet)) }
+		}
+		r.hops = append(r.hops, h)
+	}
+	for i := 0; i < len(r.hops)-1; i++ {
+		r.hops[i].next = r.hops[i+1]
+	}
+	r.hops[len(r.hops)-1].sink = sink
+	return r
+}
+
+// FlowRoutes returns the registered routes of flow id (nil, nil if the flow
+// is unknown).
+func (t *Topology) FlowRoutes(id int) (fwd, rev *Route) {
+	f := t.flows[id]
+	if f == nil {
+		return nil, nil
+	}
+	return f.fwd, f.rev
+}
+
+// SendData injects a data packet at the head of flow p.Flow's forward route.
+func (t *Topology) SendData(p *Packet) {
+	f := t.flows[p.Flow]
+	if f == nil {
+		panic(fmt.Sprintf("netem: SendData for unregistered flow %d", p.Flow))
+	}
+	f.fwd.hops[0].enter(p)
+}
+
+// SendAck injects an ACK at the head of flow p.Flow's reverse route.
+func (t *Topology) SendAck(p *Packet) {
+	f := t.flows[p.Flow]
+	if f == nil {
+		panic(fmt.Sprintf("netem: SendAck for unregistered flow %d", p.Flow))
+	}
+	f.rev.hops[0].enter(p)
+}
+
+// LinkStats is one link's cumulative accounting. At any quiescent point,
+// packets offered to the link equal Delivered + WireLost + QueueDropped +
+// packets still queued.
+type LinkStats struct {
+	Name         string
+	Delivered    int64
+	WireLost     int64
+	QueueDropped int64
+}
+
+// Stats returns per-link accounting in AddLink order (deterministic, so
+// reports embedding it stay byte-identical across runs).
+func (t *Topology) Stats() []LinkStats {
+	out := make([]LinkStats, len(t.links))
+	for i, li := range t.links {
+		out[i] = LinkStats{
+			Name:         li.name,
+			Delivered:    li.link.Delivered(),
+			WireLost:     li.link.WireLost(),
+			QueueDropped: li.link.Queue.Dropped(),
+		}
+	}
+	return out
+}

@@ -33,6 +33,21 @@ func PoissonArrivals(eng *sim.Engine, rng *rand.Rand, rate float64, stop float64
 	eng.After(rng.ExpFloat64()/rate, next)
 }
 
+// ParetoFlowKB draws a short-flow size in KB from a bounded Pareto
+// distribution — the classic mice-and-elephants mix of cross-traffic: most
+// flows near minKB, a heavy tail up to maxKB. alpha is the tail index
+// (smaller = heavier tail; web traffic is usually fit with 1.1–1.3).
+func ParetoFlowKB(rng *rand.Rand, alpha float64, minKB, maxKB int) int {
+	lo, hi := float64(minKB), float64(maxKB)
+	u := rng.Float64()
+	// Inverse CDF of the Pareto truncated to [lo, hi].
+	x := lo / math.Pow(1-u*(1-math.Pow(lo/hi, alpha)), 1/alpha)
+	if x > hi {
+		x = hi
+	}
+	return int(x)
+}
+
 // PathSample is one sampled wide-area path.
 type PathSample struct {
 	RateMbps float64
