@@ -20,18 +20,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pcc/internal/exp"
 )
 
 func main() {
+	// Exit via a return code so the profile-flushing defers in run always
+	// execute — os.Exit in the body would truncate an in-flight CPU profile
+	// exactly when profiling a failing run matters most.
+	os.Exit(run())
+}
+
+func run() int {
 	id := flag.String("exp", "", "experiment id (figN, table1, loss50, theory) or 'all'")
 	scale := flag.Float64("scale", 0.2, "duration/trial scale in (0,1]; 1.0 = paper durations")
 	seed := flag.Int64("seed", 42, "root RNG seed")
 	par := flag.Int("par", 0, "worker goroutines per experiment (0 = auto: PCC_PAR env, then GOMAXPROCS; 1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	// Profiling hooks so hot-path regressions can be chased on the real
+	// experiment mix (go tool pprof <binary> <file>) without writing a
+	// throwaway harness.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pccbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pccbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pccbench:", err)
+			}
+		}()
+	}
 
 	// Every driver fans its independent trials out over exp's worker pool;
 	// results are bit-identical at any worker count.
@@ -43,9 +85,9 @@ func main() {
 			fmt.Println(" ", e)
 		}
 		if *id == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	ids := []string{*id}
@@ -57,9 +99,10 @@ func main() {
 		rep, err := exp.Run(e, *scale, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pccbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(rep.String())
 		fmt.Printf("(%s in %.1fs)\n\n", e, time.Since(start).Seconds())
 	}
+	return 0
 }

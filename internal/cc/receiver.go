@@ -31,7 +31,7 @@ type Receiver struct {
 	Pool *netem.PacketPool
 
 	cumAck      int64 // next expected in-order sequence
-	ooo         map[int64]bool
+	ooo         seqSet
 	uniqueBytes int64
 	uniquePkts  int64
 	totalPkts   int64
@@ -42,7 +42,7 @@ type Receiver struct {
 
 // NewReceiver builds a receiver for the given flow.
 func NewReceiver(eng *sim.Engine, flow int) *Receiver {
-	return &Receiver{Eng: eng, Flow: flow, ooo: map[int64]bool{}, firstAt: -1}
+	return &Receiver{Eng: eng, Flow: flow, firstAt: -1}
 }
 
 // OnData processes an arriving data packet and emits an ACK.
@@ -59,13 +59,16 @@ func (r *Receiver) OnData(p *netem.Packet) {
 	case p.Seq == r.cumAck:
 		fresh = true
 		r.cumAck++
-		for r.ooo[r.cumAck] {
-			delete(r.ooo, r.cumAck)
+		for r.ooo.has(r.cumAck) {
+			r.ooo.clear(r.cumAck)
 			r.cumAck++
 		}
 	case p.Seq > r.cumAck:
-		if !r.ooo[p.Seq] {
-			r.ooo[p.Seq] = true
+		// ensure before has: membership tests are only alias-free for
+		// sequences inside the current window.
+		r.ooo.ensure(p.Seq, r.cumAck)
+		if !r.ooo.has(p.Seq) {
+			r.ooo.set(p.Seq)
 			fresh = true
 		}
 	}

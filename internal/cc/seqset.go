@@ -1,0 +1,64 @@
+package cc
+
+import "math/bits"
+
+// seqSet is a windowed bitmap of out-of-order sequence numbers, replacing a
+// map[int64]bool on the receiver's per-packet path. All stored sequences lie
+// in a window of at most capBits() above the cumulative ACK, so a sequence's
+// slot is just seq mod capacity — one word load per membership test instead
+// of a map probe. The window grows (power of two, reindexing the rare
+// resident bits) when a sender races further ahead of the ACK point.
+type seqSet struct {
+	words []uint64
+}
+
+func (s *seqSet) capBits() int64 { return int64(len(s.words)) << 6 }
+
+// ensure grows the window until seq fits strictly inside (above,
+// above+capBits()). Keeping every resident sequence strictly within one
+// window width of `above` (the cumulative ACK) makes modulo slots unique,
+// so has/set/clear never alias. Growing changes every resident bit's slot,
+// so the survivors are re-placed under the new capacity.
+func (s *seqSet) ensure(seq, above int64) {
+	if s.words == nil {
+		s.words = make([]uint64, 16) // 1024-sequence initial window
+	}
+	for seq-above >= s.capBits() {
+		old := s.words
+		oldCap := s.capBits()
+		s.words = make([]uint64, 2*len(old))
+		base := above + 1
+		for w, word := range old {
+			for word != 0 {
+				b := word & (-word)
+				word &^= b
+				slot := int64(w)<<6 + int64(bits.TrailingZeros64(b))
+				// Reconstruct the unique sequence ≡ slot (mod oldCap) in
+				// [base, base+oldCap).
+				off := (slot - base) & (oldCap - 1)
+				s.set(base + off)
+			}
+		}
+	}
+}
+
+func (s *seqSet) has(seq int64) bool {
+	if s.words == nil {
+		return false
+	}
+	i := seq & (s.capBits() - 1)
+	return s.words[i>>6]&(1<<(i&63)) != 0
+}
+
+func (s *seqSet) set(seq int64) {
+	i := seq & (s.capBits() - 1)
+	s.words[i>>6] |= 1 << (i & 63)
+}
+
+func (s *seqSet) clear(seq int64) {
+	if s.words == nil {
+		return
+	}
+	i := seq & (s.capBits() - 1)
+	s.words[i>>6] &^= 1 << (i & 63)
+}

@@ -15,14 +15,20 @@ type seqWindow struct {
 // add appends a fresh or recycled entry for seq, which must exceed every
 // seq already tracked (callers add in transmission order).
 func (w *seqWindow) add(seq int64) *pktState {
-	var st *pktState
-	if n := len(w.free); n > 0 {
-		st = w.free[n-1]
-		w.free = w.free[:n-1]
-		*st = pktState{seq: seq}
-	} else {
-		st = &pktState{seq: seq}
+	if len(w.free) == 0 {
+		// Refill in chunks: a window ramping to its peak (incast collapse,
+		// deep-BDP flights) would otherwise allocate one object per packet,
+		// and pktState is pointer-free so a chunk costs the GC nothing to
+		// scan.
+		chunk := make([]pktState, 64)
+		for i := range chunk {
+			w.free = append(w.free, &chunk[i])
+		}
 	}
+	n := len(w.free)
+	st := w.free[n-1]
+	w.free = w.free[:n-1]
+	*st = pktState{seq: seq}
 	w.entries = append(w.entries, st)
 	return st
 }

@@ -1,0 +1,86 @@
+package core
+
+// miRing maps in-flight sequence numbers to their monitor interval. It
+// replaces a map[int64]*mi on the per-packet send/ack path: resident
+// sequences always lie in one contiguous window [lo, hi) — new sends extend
+// hi, retransmissions of old sequences extend lo back down — so a sequence's
+// slot is seq mod capacity, one indexed load instead of a map probe, and
+// the structure allocates only on the rare window doubling. Semantically it
+// is exactly the map: get returns nil for absent keys, put overwrites,
+// delete clears.
+type miRing struct {
+	slots  []*mi // power-of-two capacity
+	lo, hi int64 // resident window; empty iff lo == hi
+	n      int   // resident count
+}
+
+func (r *miRing) get(seq int64) *mi {
+	if seq < r.lo || seq >= r.hi {
+		return nil
+	}
+	return r.slots[seq&int64(len(r.slots)-1)]
+}
+
+func (r *miRing) put(seq int64, m *mi) {
+	if r.slots == nil {
+		r.slots = make([]*mi, 256)
+	}
+	if r.n == 0 {
+		r.lo, r.hi = seq, seq+1
+	} else {
+		lo, hi := r.lo, r.hi
+		if seq < lo {
+			lo = seq
+		}
+		if seq >= hi {
+			hi = seq + 1
+		}
+		for hi-lo > int64(len(r.slots)) {
+			r.grow()
+		}
+		r.lo, r.hi = lo, hi
+	}
+	i := seq & int64(len(r.slots)-1)
+	if r.slots[i] == nil {
+		r.n++
+	}
+	r.slots[i] = m
+}
+
+func (r *miRing) del(seq int64) {
+	if seq < r.lo || seq >= r.hi {
+		return
+	}
+	i := seq & int64(len(r.slots)-1)
+	if r.slots[i] == nil {
+		return
+	}
+	r.slots[i] = nil
+	r.n--
+	if r.n == 0 {
+		r.lo, r.hi = 0, 0
+		return
+	}
+	// Advance the window edges past cleared slots so the span tracks the
+	// resident set instead of growing monotonically.
+	for r.slots[r.lo&int64(len(r.slots)-1)] == nil && r.lo < r.hi {
+		r.lo++
+	}
+	for r.slots[(r.hi-1)&int64(len(r.slots)-1)] == nil && r.hi > r.lo {
+		r.hi--
+	}
+}
+
+// grow doubles the capacity, re-placing resident entries under the new
+// modulus.
+func (r *miRing) grow() {
+	old := r.slots
+	oldMask := int64(len(old) - 1)
+	r.slots = make([]*mi, 2*len(old))
+	mask := int64(len(r.slots) - 1)
+	for seq := r.lo; seq < r.hi; seq++ {
+		if m := old[seq&oldMask]; m != nil {
+			r.slots[seq&mask] = m
+		}
+	}
+}

@@ -114,7 +114,8 @@ type PCC struct {
 	minRTT     float64
 	cur        *mi
 	pending    []*mi // closed MIs awaiting their finalize deadline
-	bySeq      map[int64]*mi
+	miFree     []*mi // finalized MIs recycled by openMI (seqs backing kept)
+	bySeq      miRing
 	nextMI     int64
 	prevAvgRTT float64
 
@@ -158,7 +159,7 @@ func New(cfg Config, rng *rand.Rand) *PCC {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	p := &PCC{cfg: cfg, rng: rng, bySeq: map[int64]*mi{}}
+	p := &PCC{cfg: cfg, rng: rng}
 	p.ctl = NewController(cfg, rng)
 	p.srtt = 0.1
 	if cfg.InitialRate > 0 {
@@ -201,7 +202,16 @@ func (p *PCC) openMI(now float64) {
 	id := p.nextMI
 	p.nextMI++
 	rate := p.ctl.NextMIRate(id)
-	p.cur = &mi{id: id, rate: rate, start: now}
+	var m *mi
+	if n := len(p.miFree); n > 0 {
+		m = p.miFree[n-1]
+		p.miFree = p.miFree[:n-1]
+		seqs := m.seqs[:0]
+		*m = mi{id: id, rate: rate, start: now, seqs: seqs}
+	} else {
+		m = &mi{id: id, rate: rate, start: now}
+	}
+	p.cur = m
 	p.cur.end = now + p.miDuration(rate)
 	p.MICount++
 }
@@ -233,6 +243,9 @@ func (p *PCC) advance(now float64) {
 		m := p.pending[0]
 		p.pending = p.pending[1:]
 		p.finalize(m)
+		// finalize leaves no reference behind (bySeq entries are deleted,
+		// the controller gets stats by value), so the record is reusable.
+		p.miFree = append(p.miFree, m)
 	}
 	// §3.1 optimization: when a decision arrives mid-MI, change rate
 	// immediately and re-align the MI to the rate change.
@@ -244,8 +257,8 @@ func (p *PCC) advance(now float64) {
 // finalize computes an MI's stats and feeds the controller.
 func (p *PCC) finalize(m *mi) {
 	for _, seq := range m.seqs {
-		if p.bySeq[seq] == m {
-			delete(p.bySeq, seq)
+		if p.bySeq.get(seq) == m {
+			p.bySeq.del(seq)
 		}
 	}
 	dur := m.end - m.start
@@ -299,7 +312,7 @@ func (p *PCC) OnSend(seq int64, size int, now float64) {
 	m.sent++
 	m.sentBytes += int64(size)
 	m.seqs = append(m.seqs, seq)
-	p.bySeq[seq] = m
+	p.bySeq.put(seq, m)
 	p.TotalSent++
 }
 
@@ -316,7 +329,7 @@ func (p *PCC) OnAck(seq int64, rtt float64, now float64) {
 		}
 	}
 	p.advance(now)
-	m := p.bySeq[seq]
+	m := p.bySeq.get(seq)
 	if m == nil {
 		return // MI already finalized: the straggler counts as lost
 	}
@@ -331,7 +344,7 @@ func (p *PCC) OnAck(seq int64, rtt float64, now float64) {
 		m.rttCnt++
 	}
 	p.TotalAcked++
-	delete(p.bySeq, seq)
+	p.bySeq.del(seq)
 }
 
 // OnLost implements cc.RateAlgo. PCC needs no explicit loss signal: the

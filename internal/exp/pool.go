@@ -3,6 +3,7 @@ package exp
 import (
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,56 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// gcRelax widens the garbage collector's heap-growth target while trials
+// run. Every trial builds and discards a complete simulation (engine,
+// windows, RNG states, packet pools), so an experiment sweep allocates tens
+// of megabytes over a live set of a few; at the default GOGC that triggers
+// a collection every few trials, and on small machines the mark phase's
+// write barriers tax the simulator's hottest loops. Trading bounded heap
+// headroom for throughput is the standard batch-job setting. The previous
+// target is restored when the outermost sweep finishes; results are
+// unaffected (GC timing is invisible to a deterministic simulation). Set
+// PCC_GOGC to override the sweep-time target (0 disables the adjustment).
+var gcRelax struct {
+	mu     sync.Mutex
+	depth  int
+	prev   int
+	active bool
+}
+
+func gcRelaxTarget() int {
+	if s := os.Getenv("PCC_GOGC"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return 400
+}
+
+func enterGCRelax() {
+	gcRelax.mu.Lock()
+	gcRelax.depth++
+	if gcRelax.depth == 1 {
+		if t := gcRelaxTarget(); t > 0 {
+			gcRelax.prev = debug.SetGCPercent(t)
+			gcRelax.active = true
+		} else {
+			gcRelax.active = false
+		}
+	}
+	gcRelax.mu.Unlock()
+}
+
+func exitGCRelax() {
+	gcRelax.mu.Lock()
+	gcRelax.depth--
+	if gcRelax.depth == 0 && gcRelax.active {
+		debug.SetGCPercent(gcRelax.prev)
+		gcRelax.active = false
+	}
+	gcRelax.mu.Unlock()
+}
+
 // RunTrials runs fn(trial) for every trial in [0, n) across the default
 // number of workers. fn must be self-contained: it builds its own Runner
 // (and therefore its own engine, RNGs and packet pool) from a seed derived
@@ -64,6 +115,8 @@ func RunTrialsWith(workers, n int, fn func(trial int)) {
 	if n <= 0 {
 		return
 	}
+	enterGCRelax()
+	defer exitGCRelax()
 	if workers > n {
 		workers = n
 	}

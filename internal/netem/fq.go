@@ -23,7 +23,9 @@ type FQ struct {
 	// dequeue-time AQM drops recycle packets.
 	Pool *PacketPool
 
-	flows  map[int]*fqFlow
+	// flows is indexed by flow id (small non-negative integers; see
+	// Topology.flows), with nil holes for ids never seen.
+	flows  []*fqFlow
 	active []*fqFlow // round-robin list of flows with queued packets
 	next   int       // scheduler position in active
 	bytes  int
@@ -40,7 +42,7 @@ type fqFlow struct {
 // NewFQ returns a fair queue whose per-flow child queues hold at most
 // perFlowBytes bytes each (negative = unlimited).
 func NewFQ(perFlowBytes int) *FQ {
-	return &FQ{Quantum: 1500, PerFlowBytes: perFlowBytes, flows: map[int]*fqFlow{}}
+	return &FQ{Quantum: 1500, PerFlowBytes: perFlowBytes}
 }
 
 // NewFQCoDel returns fair queueing with a CoDel child per flow (fq_codel).
@@ -51,18 +53,21 @@ func NewFQCoDel(perFlowBytes int) *FQ {
 }
 
 func (f *FQ) flow(id int) *fqFlow {
-	fl := f.flows[id]
-	if fl == nil {
-		var child Queue
-		if f.NewChild != nil {
-			child = f.NewChild()
-		} else {
-			child = NewDropTail(f.PerFlowBytes)
-		}
-		queueUsePool(child, f.Pool)
-		fl = &fqFlow{id: id, q: child}
-		f.flows[id] = fl
+	if id < 0 {
+		panic("netem: FQ flow ids must be non-negative")
 	}
+	if id < len(f.flows) && f.flows[id] != nil {
+		return f.flows[id]
+	}
+	var child Queue
+	if f.NewChild != nil {
+		child = f.NewChild()
+	} else {
+		child = NewDropTail(f.PerFlowBytes)
+	}
+	queueUsePool(child, f.Pool)
+	fl := &fqFlow{id: id, q: child}
+	f.flows = growPut(f.flows, id, fl)
 	return fl
 }
 
@@ -106,11 +111,12 @@ func (f *FQ) Dequeue(now float64) *Packet {
 			continue
 		}
 		before := fl.q.Bytes()
+		beforeLen := fl.q.Len()
 		p := fl.q.Dequeue(now)
 		// Account for packets the child's AQM dropped internally plus the
 		// packet actually handed to us.
 		f.bytes -= before - fl.q.Bytes()
-		f.count = f.recount()
+		f.count -= beforeLen - fl.q.Len()
 		if p == nil {
 			f.deactivate(f.next)
 			continue
@@ -149,14 +155,6 @@ func (f *FQ) deactivate(i int) {
 	}
 }
 
-func (f *FQ) recount() int {
-	n := 0
-	for _, fl := range f.flows {
-		n += fl.q.Len()
-	}
-	return n
-}
-
 // Len implements Queue.
 func (f *FQ) Len() int { return f.count }
 
@@ -167,7 +165,9 @@ func (f *FQ) Bytes() int { return f.bytes }
 func (f *FQ) Dropped() int64 {
 	var n int64
 	for _, fl := range f.flows {
-		n += fl.q.Dropped()
+		if fl != nil {
+			n += fl.q.Dropped()
+		}
 	}
 	return n
 }

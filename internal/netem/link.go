@@ -41,24 +41,35 @@ type Link struct {
 	// link so recycling never crosses goroutines.
 	Pool *PacketPool
 
-	rng       *rand.Rand
+	rng       Rng
 	busy      bool
 	delivered int64
 	lost      int64
 	busyUntil float64
 	// finishFn/deliverFn are allocated once so per-packet scheduling needs
-	// no capturing closures (see sim.Engine.PostArg).
+	// no capturing closures (see sim.Engine.PostArg). The serializer has at
+	// most one outstanding event per link (the packet on the wire head),
+	// so it stays a plain engine event.
 	finishFn  func(any)
 	deliverFn func(any)
+	// pipe is the link's propagation delay line: every packet that survives
+	// transmission rides it to the Sink. In-flight packets on a high-BDP
+	// link number in the thousands; batching them into one FIFO ring with a
+	// single self-rearming scheduler slot keeps the engine's heap at
+	// O(links), not O(in-flight packets) (see sim.Pipe).
+	pipe *sim.Pipe
 }
 
 // NewLink builds a link with the given queue and parameters. The rng drives
 // the loss process only; a nil rng disables random loss regardless of
 // LossRate.
 func NewLink(eng *sim.Engine, q Queue, rateBps, delay, lossRate float64, rng *rand.Rand) *Link {
-	l := &Link{Eng: eng, Queue: q, Rate: rateBps, Delay: delay, LossRate: lossRate, rng: rng}
+	l := &Link{Eng: eng, Queue: q, Rate: rateBps, Delay: delay, LossRate: lossRate, rng: WrapRng(rng)}
 	l.finishFn = func(a any) { l.finish(a.(*Packet)) }
+	// Sink is typically assigned after construction; the delivery paths
+	// read it at delivery time.
 	l.deliverFn = func(a any) { l.Sink(a.(*Packet)) }
+	l.pipe = eng.NewPipe(l.deliverFn)
 	return l
 }
 
@@ -89,12 +100,22 @@ func (l *Link) transmitNext() {
 }
 
 func (l *Link) finish(p *Packet) {
-	if l.LossRate > 0 && l.rng != nil && l.rng.Float64() < l.LossRate {
+	if l.LossRate > 0 && l.rng.Valid() && l.rng.Float64() < l.LossRate {
 		l.lost++
 		l.Pool.Put(p)
 	} else {
 		l.delivered++
-		l.Eng.PostArg(l.Delay, l.deliverFn, p)
+		if l.Delay == 0 {
+			// Zero-delay link (the dumbbell bottleneck: all propagation
+			// lives in the access hops): the pipe would never batch —
+			// delivery lands at the finish instant, so the slot drains
+			// before the next serialization completes. Scheduling directly
+			// draws the same sequence number and fires the same callback at
+			// the same time, skipping the ring bookkeeping.
+			l.Eng.PostArg(0, l.deliverFn, p)
+		} else {
+			l.pipe.Post(l.Delay, p)
+		}
 	}
 	l.transmitNext()
 }

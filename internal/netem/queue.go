@@ -19,7 +19,8 @@ type Queue interface {
 }
 
 // fifo is the common packet ring shared by queue implementations. The ring
-// grows geometrically and never shrinks; queues in these simulations reach a
+// grows geometrically (always to a power of two, so indexing is a mask, not
+// a division) and never shrinks; queues in these simulations reach a
 // steady-state size quickly, so this avoids per-packet allocation.
 type fifo struct {
 	buf   []*Packet
@@ -32,7 +33,7 @@ func (f *fifo) push(p *Packet) {
 	if f.count == len(f.buf) {
 		f.grow()
 	}
-	f.buf[(f.head+f.count)%len(f.buf)] = p
+	f.buf[(f.head+f.count)&(len(f.buf)-1)] = p
 	f.count++
 	f.bytes += p.Size
 }
@@ -43,7 +44,7 @@ func (f *fifo) pop() *Packet {
 	}
 	p := f.buf[f.head]
 	f.buf[f.head] = nil
-	f.head = (f.head + 1) % len(f.buf)
+	f.head = (f.head + 1) & (len(f.buf) - 1)
 	f.count--
 	f.bytes -= p.Size
 	return p
@@ -63,7 +64,7 @@ func (f *fifo) grow() {
 	}
 	nb := make([]*Packet, n)
 	for i := 0; i < f.count; i++ {
-		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+		nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
 	}
 	f.buf = nb
 	f.head = 0

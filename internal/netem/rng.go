@@ -1,0 +1,46 @@
+package netem
+
+import "math/rand"
+
+// Rng is a lazily materialized deterministic random stream for loss
+// processes. Seeding a math/rand generator fills a 607-word feedback
+// register — by far the most expensive part of setting up a link or flow —
+// yet most links and routes in the experiment suite never draw from their
+// stream (their loss probability is zero). Rng therefore records only the
+// seed at construction time and builds the generator on first draw: the
+// seed-derivation chain (sim.Seeds) advances identically whether or not the
+// stream is ever used, and the draw sequence once materialized is identical
+// to an eagerly constructed generator, so recorded experiment outputs are
+// unchanged.
+//
+// The zero Rng is "no stream": Valid reports false and loss processes stay
+// disabled, mirroring the old nil-*rand.Rand convention.
+type Rng struct {
+	seed int64
+	r    *rand.Rand
+	ok   bool
+}
+
+// SeededRng returns a stream that will materialize rand.New(rand.NewSource
+// (seed)) on first draw.
+func SeededRng(seed int64) Rng { return Rng{seed: seed, ok: true} }
+
+// WrapRng adopts an existing generator (nil yields the invalid zero Rng).
+func WrapRng(r *rand.Rand) Rng {
+	if r == nil {
+		return Rng{}
+	}
+	return Rng{r: r, ok: true}
+}
+
+// Valid reports whether the stream exists; an invalid stream must not be
+// drawn from.
+func (g *Rng) Valid() bool { return g.ok }
+
+// Float64 draws from the stream, materializing the generator on first use.
+func (g *Rng) Float64() float64 {
+	if g.r == nil {
+		g.r = rand.New(rand.NewSource(g.seed))
+	}
+	return g.r.Float64()
+}

@@ -13,9 +13,10 @@ import (
 // on — multiple bottlenecks in series (parking lot), congested ACK paths
 // (data and ACKs of opposing flows sharing a link), and cross-traffic that
 // touches only a subset of hops — while keeping the simulator's invariants:
-// all scheduling is closure-free (PostArg with per-route functions allocated
-// once at registration), every drop point recycles through the topology's
-// PacketPool, and for a fixed seed the event sequence is bit-reproducible.
+// all per-packet scheduling is closure-free and batched (each delay stage is
+// a sim.Pipe allocated once at registration), every drop point recycles
+// through the topology's PacketPool, and for a fixed seed the event sequence
+// is bit-reproducible.
 //
 // A route hop is either
 //
@@ -36,7 +37,11 @@ type Topology struct {
 
 	links  []*linkInfo
 	byName map[string]*linkInfo
-	flows  map[int]*topoFlow
+	// flows is indexed by flow id. Flow ids are required to be small
+	// non-negative integers (the harness hands out 0,1,2,…) precisely so
+	// the per-packet route lookups here and in linkInfo are direct slice
+	// indexing, not map probes.
+	flows []*topoFlow
 }
 
 // linkInfo is a Link plus its place in the graph and the per-flow routing
@@ -45,11 +50,31 @@ type linkInfo struct {
 	link     *Link
 	name     string
 	from, to string
-	// data/ack map a flow id to the route hop that traverses this link, so
-	// the link's exit can continue the packet along its route. A nil entry
-	// means the flow does not route over this link in that direction.
-	data map[int]*hop
-	ack  map[int]*hop
+	// data/ack index a flow id to the route hop that traverses this link,
+	// so the link's exit can continue the packet along its route. A nil
+	// entry means the flow does not route over this link in that direction.
+	data []*hop
+	ack  []*hop
+}
+
+// hopAt returns s[id], tolerating ids beyond the table.
+func hopAt(s []*hop, id int) *hop {
+	if id < len(s) {
+		return s[id]
+	}
+	return nil
+}
+
+// growPut grows a flow-indexed table to cover id and stores v there. Shared
+// by the per-link route tables, the topology flow table, and FQ's per-flow
+// queue table.
+func growPut[T any](s []T, id int, v T) []T {
+	for len(s) <= id {
+		var zero T
+		s = append(s, zero)
+	}
+	s[id] = v
+	return s
 }
 
 // dispatch is the link's Sink: it looks up the exiting packet's route hop
@@ -59,7 +84,7 @@ func (li *linkInfo) dispatch(t *Topology, p *Packet) {
 	if p.Ack {
 		m = li.ack
 	}
-	if h := m[p.Flow]; h != nil {
+	if h := hopAt(m, p.Flow); h != nil {
 		h.forward(p)
 		return
 	}
@@ -79,13 +104,20 @@ type hop struct {
 
 	delay float64 // delay hop: one-way propagation, seconds (mutable)
 	loss  float64 // delay hop: Bernoulli loss probability (mutable)
-	rng   *rand.Rand
+	rng   *Rng
 
 	next *hop          // nil ⇒ this is the last hop
 	sink func(*Packet) // terminal delivery, set on the last hop only
-	// deliverFn is the PostArg target of delay hops, allocated once here so
-	// the per-packet path schedules without capturing closures.
+	// deliverFn is the delay hop's delivery callback, shared by the pipe
+	// and the zero-delay direct path.
 	deliverFn func(any)
+	// pipe is a delay hop's propagation delay line (see sim.Pipe): the
+	// hop's whole in-flight train shares one self-rearming scheduler slot,
+	// so an 800 ms satellite access segment holds one slot, not one heap
+	// event per packet. If SetDelay shrinks the delay mid-flight, the pipe
+	// transparently falls back to per-event scheduling for the overtaking
+	// packets, preserving the exact delivery order of the per-event path.
+	pipe *sim.Pipe
 }
 
 // enter offers a packet to this hop.
@@ -94,11 +126,17 @@ func (h *hop) enter(p *Packet) {
 		h.link.link.Send(p)
 		return
 	}
-	if h.loss > 0 && h.rng != nil && h.rng.Float64() < h.loss {
+	if h.loss > 0 && h.rng.Valid() && h.rng.Float64() < h.loss {
 		h.t.Pool.Put(p)
 		return
 	}
-	h.t.Eng.PostArg(h.delay, h.deliverFn, p)
+	if h.delay == 0 {
+		// Same (at, seq) draw and callback as the pipe path, without the
+		// ring bookkeeping a never-batching zero-delay stage would pay.
+		h.t.Eng.PostArg(0, h.deliverFn, p)
+		return
+	}
+	h.pipe.Post(h.delay, p)
 }
 
 // forward moves a packet that finished this hop to the next one, or delivers
@@ -166,7 +204,6 @@ func NewTopology(eng *sim.Engine) *Topology {
 	return &Topology{
 		Eng:    eng,
 		byName: map[string]*linkInfo{},
-		flows:  map[int]*topoFlow{},
 	}
 }
 
@@ -178,11 +215,7 @@ func (t *Topology) AddLink(name, from, to string, q Queue, rateBps, delay, lossR
 	if t.byName[name] != nil {
 		panic(fmt.Sprintf("netem: duplicate link %q", name))
 	}
-	li := &linkInfo{
-		name: name, from: from, to: to,
-		data: map[int]*hop{},
-		ack:  map[int]*hop{},
-	}
+	li := &linkInfo{name: name, from: from, to: to}
 	li.link = NewLink(t.Eng, q, rateBps, delay, lossRate, rng)
 	li.link.Sink = func(p *Packet) { li.dispatch(t, p) }
 	if t.Pool != nil {
@@ -212,7 +245,9 @@ func queueUsePool(q Queue, pool *PacketPool) {
 	case *FQ:
 		q.Pool = pool
 		for _, fl := range q.flows {
-			queueUsePool(fl.q, pool)
+			if fl != nil {
+				queueUsePool(fl.q, pool)
+			}
 		}
 	}
 }
@@ -239,20 +274,25 @@ func (t *Topology) UsePool(pool *PacketPool) {
 // are node-less access/propagation segments and may appear anywhere. A flow
 // may traverse a given link at most once per direction.
 func (t *Topology) AddFlow(id int, fwd, rev []HopSpec, seeds *sim.Seeds, dataSink, ackSink func(*Packet)) (fwdRoute, revRoute *Route) {
-	if t.flows[id] != nil {
+	if id < 0 {
+		panic(fmt.Sprintf("netem: flow id %d must be non-negative (ids index the route tables)", id))
+	}
+	if id < len(t.flows) && t.flows[id] != nil {
 		panic(fmt.Sprintf("netem: duplicate flow %d", id))
 	}
-	rng := seeds.NextRand()
+	// The stream is derived eagerly (so the seed chain other components see
+	// never shifts) but materialized lazily on the first loss draw.
+	rng := SeededRng(seeds.Next())
 	f := &topoFlow{
-		fwd: t.buildRoute(id, false, fwd, rng, dataSink),
-		rev: t.buildRoute(id, true, rev, rng, ackSink),
+		fwd: t.buildRoute(id, false, fwd, &rng, dataSink),
+		rev: t.buildRoute(id, true, rev, &rng, ackSink),
 	}
-	t.flows[id] = f
+	t.flows = growPut(t.flows, id, f)
 	return f.fwd, f.rev
 }
 
 // buildRoute assembles and registers one direction of a flow's path.
-func (t *Topology) buildRoute(id int, ack bool, specs []HopSpec, rng *rand.Rand, sink func(*Packet)) *Route {
+func (t *Topology) buildRoute(id int, ack bool, specs []HopSpec, rng *Rng, sink func(*Packet)) *Route {
 	if len(specs) == 0 {
 		panic(fmt.Sprintf("netem: empty route for flow %d", id))
 	}
@@ -277,20 +317,21 @@ func (t *Topology) buildRoute(id int, ack bool, specs []HopSpec, rng *rand.Rand,
 					id, dir, at, hs.Link, li.from))
 			}
 			at = li.to
-			m := li.data
+			m := &li.data
 			if ack {
-				m = li.ack
+				m = &li.ack
 			}
-			if m[id] != nil {
+			if hopAt(*m, id) != nil {
 				panic(fmt.Sprintf("netem: flow %d traverses link %q twice on its %s route", id, hs.Link, dir))
 			}
 			h.link = li
-			m[id] = h
+			*m = growPut(*m, id, h)
 		} else {
 			h.delay = hs.Delay
 			h.loss = hs.Loss
 			h.rng = rng
 			h.deliverFn = func(a any) { h.forward(a.(*Packet)) }
+			h.pipe = t.Eng.NewPipe(h.deliverFn)
 		}
 		r.hops = append(r.hops, h)
 	}
@@ -301,10 +342,18 @@ func (t *Topology) buildRoute(id int, ack bool, specs []HopSpec, rng *rand.Rand,
 	return r
 }
 
+// flow returns the registered flow, or nil.
+func (t *Topology) flow(id int) *topoFlow {
+	if id >= 0 && id < len(t.flows) {
+		return t.flows[id]
+	}
+	return nil
+}
+
 // FlowRoutes returns the registered routes of flow id (nil, nil if the flow
 // is unknown).
 func (t *Topology) FlowRoutes(id int) (fwd, rev *Route) {
-	f := t.flows[id]
+	f := t.flow(id)
 	if f == nil {
 		return nil, nil
 	}
@@ -313,7 +362,7 @@ func (t *Topology) FlowRoutes(id int) (fwd, rev *Route) {
 
 // SendData injects a data packet at the head of flow p.Flow's forward route.
 func (t *Topology) SendData(p *Packet) {
-	f := t.flows[p.Flow]
+	f := t.flow(p.Flow)
 	if f == nil {
 		panic(fmt.Sprintf("netem: SendData for unregistered flow %d", p.Flow))
 	}
@@ -322,7 +371,7 @@ func (t *Topology) SendData(p *Packet) {
 
 // SendAck injects an ACK at the head of flow p.Flow's reverse route.
 func (t *Topology) SendAck(p *Packet) {
-	f := t.flows[p.Flow]
+	f := t.flow(p.Flow)
 	if f == nil {
 		panic(fmt.Sprintf("netem: SendAck for unregistered flow %d", p.Flow))
 	}

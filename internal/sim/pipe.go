@@ -1,0 +1,130 @@
+package sim
+
+// Pipe is a FIFO delay line: a ring of (at, seq, arg) entries delivered
+// through a single self-rearming scheduler slot. It exploits the structure
+// of constant-delay hops — entries posted in time order also fire in time
+// order — to keep an arbitrarily long in-flight train (a high-BDP link can
+// carry tens of thousands of packets) out of the engine's scheduling
+// structures: the pipe occupies one heap/wheel slot for its head entry,
+// re-armed as entries drain, so scheduler size is O(pipes), not O(in-flight
+// packets).
+//
+// Determinism is preserved exactly. Post draws one engine sequence number
+// per entry — the same draw Engine.PostArg would have made — and the pipe's
+// scheduler slot is armed with the head entry's own (at, seq), so every
+// delivery interleaves with heap and wheel events in precisely the
+// engine-wide (at, seq) order the per-event implementation produced. If an
+// entry is posted with a timestamp before the current tail (a hop whose
+// delay was lowered mid-flight; packets then physically overtake), the pipe
+// falls back to an ordinary engine event for that entry, again with
+// identical semantics.
+//
+// Entries are fire-and-forget: they cannot be cancelled. Use Timers for
+// anything that may need to be stopped.
+type Pipe struct {
+	e  *Engine
+	fn func(any)
+
+	buf   []pipeEntry
+	head  int
+	count int
+	armed bool
+}
+
+type pipeEntry struct {
+	at  Time
+	seq uint64
+	arg any
+}
+
+// NewPipe returns a pipe delivering entries through fn. One pipe per
+// constant-delay stage (link propagation, access segment) is the intended
+// granularity.
+func (e *Engine) NewPipe(fn func(any)) *Pipe {
+	if fn == nil {
+		panic("sim: nil pipe function")
+	}
+	p := &Pipe{e: e, fn: fn}
+	e.pipes = append(e.pipes, p)
+	return p
+}
+
+// Len returns the number of queued entries.
+func (p *Pipe) Len() int { return p.count }
+
+// Post queues fn(arg) to fire delay seconds from now, drawing the entry's
+// engine sequence number immediately (so same-instant ordering against
+// other events matches per-event scheduling exactly).
+func (p *Pipe) Post(delay float64, arg any) {
+	if delay < 0 {
+		delay = 0
+	}
+	e := p.e
+	at := e.now + delay
+	seq := e.nextSeq
+	e.nextSeq++
+	if p.count > 0 && at < p.buf[(p.head+p.count-1)&(len(p.buf)-1)].at {
+		// Out-of-order entry (the stage's delay shrank since the tail was
+		// posted): deliver through the engine so it can overtake, exactly
+		// as the per-event path did.
+		e.scheduleSeq(at, seq, p.fn, arg)
+		return
+	}
+	p.push(pipeEntry{at: at, seq: seq, arg: arg})
+	if !p.armed {
+		p.arm()
+	}
+}
+
+// arm schedules the pipe's delivery slot at the head entry's (at, seq).
+// Re-arming with a stored — hence older — seq is safe: the heap orders by
+// (at, seq), and the head's timestamp is never in the engine's past.
+func (p *Pipe) arm() {
+	head := &p.buf[p.head]
+	p.e.scheduleSeq(head.at, head.seq, pipeFire, p)
+	p.armed = true
+}
+
+// pipeFire is the shared delivery trampoline; the scheduled event's arg is
+// the pipe itself, so arming needs no per-pipe closure.
+func pipeFire(a any) {
+	p := a.(*Pipe)
+	ent := p.pop()
+	if p.count > 0 {
+		p.arm()
+	} else {
+		p.armed = false
+	}
+	p.fn(ent.arg)
+}
+
+func (p *Pipe) push(ent pipeEntry) {
+	if p.count == len(p.buf) {
+		p.grow()
+	}
+	p.buf[(p.head+p.count)&(len(p.buf)-1)] = ent
+	p.count++
+}
+
+func (p *Pipe) pop() pipeEntry {
+	ent := p.buf[p.head]
+	// The slot keeps its stale arg reference until overwritten: args are
+	// engine-local pooled objects, so the pin is free and skipping the nil
+	// store avoids a write barrier per delivery.
+	p.head = (p.head + 1) & (len(p.buf) - 1)
+	p.count--
+	return ent
+}
+
+func (p *Pipe) grow() {
+	n := len(p.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]pipeEntry, n)
+	for i := 0; i < p.count; i++ {
+		nb[i] = p.buf[(p.head+i)&(len(p.buf)-1)]
+	}
+	p.buf = nb
+	p.head = 0
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestPipeFIFO drives a constant-delay pipe and checks arrival order and
+// times.
+func TestPipeFIFO(t *testing.T) {
+	e := NewEngine()
+	type arrival struct {
+		v  int
+		at float64
+	}
+	var got []arrival
+	p := e.NewPipe(func(a any) { got = append(got, arrival{a.(int), e.Now()}) })
+	const delay = 0.25
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(float64(i)*0.001, func() { p.Post(delay, i) })
+	}
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("delivered %d, want 100", len(got))
+	}
+	for i, a := range got {
+		if a.v != i {
+			t.Fatalf("out of FIFO order at %d: %+v", i, a)
+		}
+		want := float64(i)*0.001 + delay
+		if a.at != want {
+			t.Fatalf("entry %d delivered at %v, want %v", i, a.at, want)
+		}
+	}
+}
+
+// TestPipeInterleavesWithEvents pins the determinism contract: pipe entries
+// and ordinary events at the same timestamp fire in scheduling order,
+// because each Post draws its engine sequence number at call time and the
+// pipe re-arms with the head entry's own (at, seq).
+func TestPipeInterleavesWithEvents(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	p := e.NewPipe(func(a any) { got = append(got, a.(int)) })
+	// All fire at t=1, alternating between pipe entries and plain events,
+	// scheduled from a single setup event so Post sees now=0.
+	e.At(0, func() {
+		for i := 0; i < 10; i++ {
+			if i%2 == 0 {
+				p.Post(1, i)
+			} else {
+				i := i
+				e.At(1, func() { got = append(got, i) })
+			}
+		}
+	})
+	e.Run()
+	if len(got) != 10 {
+		t.Fatalf("ran %d, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time pipe/event interleaving broke scheduling order: %v", got)
+		}
+	}
+}
+
+// TestPipeNonMonotonic lowers the effective delay mid-stream; later entries
+// must overtake exactly as per-event scheduling would have let them.
+func TestPipeNonMonotonic(t *testing.T) {
+	e := NewEngine()
+	type arrival struct {
+		v  int
+		at float64
+	}
+	var got []arrival
+	p := e.NewPipe(func(a any) { got = append(got, arrival{a.(int), e.Now()}) })
+	sendAt := []float64{0, 0.001, 0.002, 0.003}
+	delays := []float64{0.5, 0.5, 0.1, 0.5} // entry 2 overtakes 0 and 1
+	for i := range sendAt {
+		i := i
+		e.At(sendAt[i], func() { p.Post(delays[i], i) })
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("delivered %d, want 4", len(got))
+	}
+	ats := make([]float64, len(got))
+	for i, a := range got {
+		ats[i] = a.at
+	}
+	if !sort.Float64sAreSorted(ats) {
+		t.Fatalf("deliveries out of time order: %+v", got)
+	}
+	if got[0].v != 2 {
+		t.Fatalf("overtaking entry should arrive first, got %+v", got)
+	}
+	wantOrder := []int{2, 0, 1, 3}
+	for i, idx := range wantOrder {
+		if want := sendAt[idx] + delays[idx]; ats[i] != want {
+			t.Fatalf("arrival %d at %v, want %v", i, ats[i], want)
+		}
+	}
+}
+
+// TestPipePendingAndLen covers the accounting surface.
+func TestPipePendingAndLen(t *testing.T) {
+	e := NewEngine()
+	p := e.NewPipe(func(any) {})
+	e.At(0, func() {
+		p.Post(1, "a")
+		p.Post(2, "b")
+		p.Post(3, "c")
+	})
+	e.RunUntil(0)
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	// Three entries, but the armed head is a scheduled event: Pending must
+	// count each exactly once.
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	e.RunUntil(2.5)
+	if p.Len() != 1 || e.Pending() != 1 {
+		t.Fatalf("after partial drain: Len=%d Pending=%d, want 1/1", p.Len(), e.Pending())
+	}
+	e.Run()
+	if p.Len() != 0 || e.Pending() != 0 {
+		t.Fatalf("after drain: Len=%d Pending=%d, want 0/0", p.Len(), e.Pending())
+	}
+}
+
+// TestPipeReentrantPost posts into the pipe from its own delivery callback
+// (a chained hop delivering into the next stage of the same pipe would look
+// like this).
+func TestPipeReentrantPost(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var p *Pipe
+	p = e.NewPipe(func(a any) {
+		n++
+		if v := a.(int); v < 5 {
+			p.Post(0.1, v+1)
+		}
+	})
+	e.At(0, func() { p.Post(0.1, 0) })
+	e.Run()
+	if n != 6 {
+		t.Fatalf("reentrant chain ran %d deliveries, want 6", n)
+	}
+	if e.Now() != 0.6 {
+		t.Fatalf("clock = %v, want 0.6", e.Now())
+	}
+}

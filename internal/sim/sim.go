@@ -87,10 +87,18 @@ func (t *Timer) When() Time {
 // code in the repository and the interface-based heap spends most of its
 // time in Less/Swap dynamic dispatch. The wider fan-out also halves the
 // tree depth relative to a binary heap, which matters for the pop-heavy
-// access pattern of a simulation.
-type eventHeap []*Event
+// access pattern of a simulation. The ordering key rides inline in each
+// slot so sift comparisons stay within the heap's own backing array
+// instead of chasing an *Event cache line per compare.
+type heapItem struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
 
-func evLess(a, b *Event) bool {
+type eventHeap []heapItem
+
+func evLess(a, b *heapItem) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -98,21 +106,21 @@ func evLess(a, b *Event) bool {
 }
 
 func (h eventHeap) siftUp(i int) {
-	ev := h[i]
+	it := h[i]
 	for i > 0 {
 		p := (i - 1) / 4
-		if !evLess(ev, h[p]) {
+		if !evLess(&it, &h[p]) {
 			break
 		}
 		h[i] = h[p]
 		i = p
 	}
-	h[i] = ev
+	h[i] = it
 }
 
 func (h eventHeap) siftDown(i int) {
 	n := len(h)
-	ev := h[i]
+	it := h[i]
 	for {
 		c := i*4 + 1
 		if c >= n {
@@ -124,30 +132,31 @@ func (h eventHeap) siftDown(i int) {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if evLess(h[j], h[m]) {
+			if evLess(&h[j], &h[m]) {
 				m = j
 			}
 		}
-		if !evLess(h[m], ev) {
+		if !evLess(&h[m], &it) {
 			break
 		}
 		h[i] = h[m]
 		i = m
 	}
-	h[i] = ev
+	h[i] = it
 }
 
 func (e *Engine) heapPush(ev *Event) {
-	e.events = append(e.events, ev)
+	e.events = append(e.events, heapItem{at: ev.at, seq: ev.seq, ev: ev})
 	e.events.siftUp(len(e.events) - 1)
 }
 
 func (e *Engine) heapPop() *Event {
 	h := e.events
-	top := h[0]
+	top := h[0].ev
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = nil
+	// h[n] keeps its stale pointer: events are engine-pooled, so the pin is
+	// free and skipping the clear avoids a write barrier per pop.
 	e.events = h[:n]
 	if n > 0 {
 		e.events.siftDown(0)
@@ -161,7 +170,16 @@ func (e *Engine) heapPop() *Event {
 type Engine struct {
 	now     Time
 	nextSeq uint64
-	events  eventHeap
+	// events is the residual heap: events inside the current wheel tick,
+	// events beyond the wheel horizon, and the contents of flushed wheel
+	// slots. Final ordering is always decided here, by (at, seq).
+	events eventHeap
+	// wheel buckets the dense near-future band of timers so their
+	// insertion is O(1) instead of an O(log n) heap push (see wheel.go).
+	wheel wheel
+	// pipes lists every FIFO delay line (see pipe.go); entries there are
+	// pending work the heap and wheel do not see.
+	pipes []*Pipe
 	// free recycles fired Events; its size is bounded by the peak number of
 	// simultaneously queued events.
 	free   []*Event
@@ -192,13 +210,13 @@ func (e *Engine) alloc() *Event {
 }
 
 // release recycles a popped event. Bumping gen makes every Timer that still
-// points here inert; clearing the callback fields drops references (notably
-// arg, which may pin a pooled packet).
+// points here inert. The callback fields are deliberately left in place —
+// the next schedule overwrites them all, and anything they pin (a pooled
+// packet, a per-link closure) is engine-local state with the engine's own
+// lifetime, so skipping three hot-path write barriers costs no memory that
+// was not already being retained.
 func (e *Engine) release(ev *Event) {
 	ev.gen++
-	ev.fn = nil
-	ev.afn = nil
-	ev.arg = nil
 	e.free = append(e.free, ev)
 }
 
@@ -217,8 +235,59 @@ func (e *Engine) schedule(at Time, fn func(), afn func(any), arg any) *Event {
 	ev.arg = arg
 	ev.dead = false
 	e.nextSeq++
-	e.heapPush(ev)
+	e.place(ev)
 	return ev
+}
+
+// scheduleSeq queues fn(arg) at an absolute time under a sequence number the
+// caller already drew from nextSeq. It exists for Pipes, which draw one seq
+// per entry at Post time and arm their delivery slot with the head entry's
+// stored (at, seq) so batched entries keep their original engine-wide order.
+func (e *Engine) scheduleSeq(at Time, seq uint64, afn func(any), arg any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = seq
+	ev.fn = nil
+	ev.afn = afn
+	ev.arg = arg
+	ev.dead = false
+	e.place(ev)
+}
+
+// wheelMinHeap is the heap size below which place bypasses the wheel: with
+// only a handful of pending events a direct O(log n) push/pop is cheaper
+// than bucketing plus a slot flush. Placement is purely a cost policy — the
+// heap decides final (at, seq) order either way (see wheel.go) — so the
+// threshold cannot change any simulation result.
+const wheelMinHeap = 32
+
+// place routes a ready event to the timing wheel when it lands in the
+// bucketable band, else to the heap.
+func (e *Engine) place(ev *Event) {
+	if len(e.events) < wheelMinHeap || ev.at <= e.events[0].at {
+		// Near-empty engine, or an event earlier than everything already
+		// queued: it pops before anything could accumulate above it, so
+		// bucketing buys nothing and the flush round-trip is pure cost.
+		e.heapPush(ev)
+		return
+	}
+	if e.wheel.count == 0 {
+		// An empty wheel's cursor can be arbitrarily stale in either
+		// direction: a long quiet stretch leaves it behind the clock, and
+		// an empty-wheel flush toward a far heap top fast-forwards it past
+		// the horizon (wheelFlushBelow's count==0 jump). Either way every
+		// insert would look out-of-band and the wheel would silently
+		// degrade to pure-heap scheduling. With no events and an empty
+		// level 1 the cursor invariants are vacuous, so snapping it to the
+		// clock is always safe.
+		e.wheel.cur = tickOf(e.now)
+	}
+	if !e.wheel.insert(ev) {
+		e.heapPush(ev)
+	}
 }
 
 // At schedules fn at absolute time at.
@@ -285,12 +354,29 @@ func (e *Engine) PostArg(delay float64, fn func(any), arg any) {
 // Halt stops the run loop after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
 
-// Pending returns the number of live queued events.
+// Pending returns the number of live queued events, wherever they reside:
+// the heap, the timing wheel, or a Pipe (pipe entries cannot be cancelled,
+// so all of them count as live).
 func (e *Engine) Pending() int {
 	n := 0
-	for _, ev := range e.events {
-		if !ev.dead {
+	for i := range e.events {
+		if !e.events[i].ev.dead {
 			n++
+		}
+	}
+	for l := range e.wheel.levels {
+		for s := range e.wheel.levels[l].slots {
+			for _, ev := range e.wheel.levels[l].slots[s] {
+				if !ev.dead {
+					n++
+				}
+			}
+		}
+	}
+	for _, p := range e.pipes {
+		n += p.count
+		if p.armed {
+			n-- // the armed head is already counted as a heap/wheel event
 		}
 	}
 	return n
@@ -299,26 +385,23 @@ func (e *Engine) Pending() int {
 // step executes the earliest event. It reports false when no live event
 // remains.
 func (e *Engine) step() bool {
-	for len(e.events) > 0 {
-		ev := e.heapPop()
-		if ev.dead {
-			e.release(ev)
-			continue
-		}
-		at, fn, afn, arg := ev.at, ev.fn, ev.afn, ev.arg
-		// Recycle before running: the callback may schedule new events, and
-		// handing it this slot keeps the free list hot.
-		e.release(ev)
-		e.now = at
-		e.nRun++
-		if fn != nil {
-			fn()
-		} else {
-			afn(arg)
-		}
-		return true
+	// Fast path: nothing bucketed in the wheel and a live heap top.
+	if !(e.wheel.count == 0 && len(e.events) > 0 && !e.events[0].ev.dead) && e.peekLive() == nil {
+		return false
 	}
-	return false
+	ev := e.heapPop()
+	at, fn, afn, arg := ev.at, ev.fn, ev.afn, ev.arg
+	// Recycle before running: the callback may schedule new events, and
+	// handing it this slot keeps the free list hot.
+	e.release(ev)
+	e.now = at
+	e.nRun++
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+	return true
 }
 
 // Run executes events until the queue drains or Halt is called.
@@ -334,16 +417,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted {
-		// Peek at the earliest live event.
-		var next *Event
-		for len(e.events) > 0 {
-			if e.events[0].dead {
-				e.release(e.heapPop())
-				continue
-			}
-			next = e.events[0]
-			break
-		}
+		next := e.peekLive()
 		if next == nil || next.at > deadline {
 			break
 		}

@@ -1,0 +1,245 @@
+package sim
+
+import "math/bits"
+
+// Hierarchical timing wheel.
+//
+// The wheel sits in front of the event heap and absorbs the dense band of
+// near-future timers (packet-timescale pacing loops, monitor intervals,
+// retransmission timers) at O(1) insertion cost. Simulated time is bucketed
+// into fixed-width ticks; each wheel level is a ring of slots one tick (level
+// 0) or wheelSlotCount ticks (level 1) wide. An event lands in the slot
+// covering its timestamp; when the engine needs events from a slot, the whole
+// slot is flushed into the heap at once, so the heap only ever holds
+//
+//   - events inside the current tick (too near to bucket),
+//   - events beyond the wheel horizon (the far-overflow band), and
+//   - the contents of recently flushed slots.
+//
+// Ordering is therefore still decided exclusively by the heap's (at, seq)
+// comparison: the wheel never reorders anything, it only defers heap
+// insertion, which keeps every simulation byte-identical to the pure-heap
+// engine while cutting the heap's size — and the O(log n) cost of every
+// push/pop — down to the handful of events in flight around "now".
+//
+// Float rounding: tickOf truncates at/granularity, and the product can round
+// up across an integer boundary, so a computed tick overshoots the exact
+// floor by at most one (it never undershoots: truncation of a value ≥ the
+// exact quotient minus one ulp cannot go below the exact floor). Every
+// consumer therefore keeps one tick of slack: an event is safe to leave in
+// the wheel only while its slot start is at least two ticks past the
+// reference timestamp.
+const (
+	wheelBits      = 8
+	wheelSlotCount = 1 << wheelBits // slots per level
+	wheelMask      = wheelSlotCount - 1
+	// wheelGranularity is the level-0 tick width in seconds. 16 µs is near
+	// the serialization time of one MSS at 1 Gbps, the finest timer scale
+	// the simulations produce in bulk; level 0 then spans ~4.1 ms and level
+	// 1 ~1.05 s, so everything up to satellite-RTT timers stays in the
+	// wheel and only truly far timers overflow to the heap.
+	wheelGranularity = 16e-6
+	wheelInvGran     = 1 / wheelGranularity
+	// wheelSpan0/wheelSpan1 are the level horizons in ticks.
+	wheelSpan0 = wheelSlotCount
+	wheelSpan1 = wheelSlotCount * wheelSlotCount
+)
+
+func tickOf(at Time) int64 { return int64(at * wheelInvGran) }
+
+// wheelLevel is one ring of slots with an occupancy bitmap (one bit per
+// slot) so advancing across empty regions costs a few word scans, not a
+// per-slot walk.
+type wheelLevel struct {
+	slots    [wheelSlotCount][]*Event
+	occupied [wheelSlotCount / 64]uint64
+	// arena seeds first-touch slots with small capacity carved from one
+	// shared block, so a fresh engine does not pay one growth chain of
+	// allocations per slot it ever uses. Slot backing arrays are retained
+	// across flushes either way.
+	arena []*Event
+}
+
+const wheelSlotSeedCap = 4
+
+func (l *wheelLevel) put(slot int, ev *Event) {
+	s := l.slots[slot]
+	if s == nil {
+		if len(l.arena) < wheelSlotSeedCap {
+			l.arena = make([]*Event, wheelSlotCount*wheelSlotSeedCap)
+		}
+		s = l.arena[:0:wheelSlotSeedCap]
+		l.arena = l.arena[wheelSlotSeedCap:]
+	}
+	l.slots[slot] = append(s, ev)
+	l.occupied[slot>>6] |= 1 << (slot & 63)
+}
+
+// nextOccupied returns the smallest occupied slot index >= from, or -1.
+func (l *wheelLevel) nextOccupied(from int) int {
+	if from >= wheelSlotCount {
+		return -1
+	}
+	w := from >> 6
+	word := l.occupied[w] >> (from & 63)
+	if word != 0 {
+		return from + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(l.occupied); w++ {
+		if l.occupied[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(l.occupied[w])
+		}
+	}
+	return -1
+}
+
+type wheel struct {
+	levels [2]wheelLevel
+	// cur is the first tick not yet flushed: every event still in the wheel
+	// has a computed tick >= cur, and the level-1 slot covering cur's block
+	// has already been cascaded down.
+	cur   int64
+	count int
+}
+
+// insert buckets ev into the wheel, or reports false when the event belongs
+// in the heap instead: timestamps within the current tick (flushing slack)
+// or beyond the level-1 horizon.
+func (w *wheel) insert(ev *Event) bool {
+	t := tickOf(ev.at)
+	d := t - w.cur
+	if d < 1 {
+		return false
+	}
+	if d < wheelSpan0 {
+		w.levels[0].put(int(t&wheelMask), ev)
+	} else if d < wheelSpan1 {
+		w.levels[1].put(int((t>>wheelBits)&wheelMask), ev)
+	} else {
+		return false
+	}
+	w.count++
+	return true
+}
+
+// flushSlot empties one level-0 slot into the heap. Cancelled events are
+// released here instead of travelling through the heap. The slot's backing
+// array is retained, so steady-state flushing does not allocate.
+func (e *Engine) flushSlot(l *wheelLevel, slot int) {
+	evs := l.slots[slot]
+	for _, ev := range evs {
+		if ev.dead {
+			e.release(ev)
+		} else {
+			e.heapPush(ev)
+		}
+	}
+	l.slots[slot] = evs[:0]
+	l.occupied[slot>>6] &^= 1 << (slot & 63)
+	e.wheel.count -= len(evs)
+}
+
+// cascade moves the level-1 slot covering the block that starts at tick
+// `base` down into level 0. Called exactly once per block, when cur first
+// enters it, so level-0 slot indices never collide across blocks.
+func (e *Engine) cascade(base int64) {
+	w := &e.wheel
+	l1 := &w.levels[1]
+	slot := int((base >> wheelBits) & wheelMask)
+	if l1.occupied[slot>>6]&(1<<(slot&63)) == 0 {
+		return
+	}
+	evs := l1.slots[slot]
+	for _, ev := range evs {
+		if ev.dead {
+			e.release(ev)
+			w.count--
+			continue
+		}
+		w.levels[0].put(int(tickOf(ev.at)&wheelMask), ev)
+	}
+	l1.slots[slot] = evs[:0]
+	l1.occupied[slot>>6] &^= 1 << (slot & 63)
+}
+
+// wheelFlushBelow moves every wheel event with tick < T into the heap and
+// advances cur to at least T.
+func (e *Engine) wheelFlushBelow(T int64) {
+	w := &e.wheel
+	for w.cur < T {
+		if w.count == 0 {
+			// An empty wheel has nothing to cascade either; jump.
+			w.cur = T
+			return
+		}
+		base := w.cur &^ int64(wheelMask)
+		blockEnd := base + wheelSlotCount // first tick of the next block
+		lim := T
+		if lim > blockEnd {
+			lim = blockEnd
+		}
+		l0 := &w.levels[0]
+		for i := int(w.cur & wheelMask); ; {
+			s := l0.nextOccupied(i)
+			if s < 0 || base+int64(s) >= lim {
+				break
+			}
+			e.flushSlot(l0, s)
+			i = s + 1
+		}
+		w.cur = lim
+		if w.cur == blockEnd {
+			e.cascade(blockEnd)
+		}
+	}
+}
+
+// wheelFlushNext advances to the next occupied slot and flushes it, for the
+// heap-empty case. It returns once the heap is non-empty or the wheel
+// drains (a flushed slot may contain only cancelled events).
+func (e *Engine) wheelFlushNext() {
+	w := &e.wheel
+	for w.count > 0 && len(e.events) == 0 {
+		base := w.cur &^ int64(wheelMask)
+		if s := w.levels[0].nextOccupied(int(w.cur & wheelMask)); s >= 0 {
+			e.flushSlot(&w.levels[0], s)
+			w.cur = base + int64(s) + 1
+			if w.cur&wheelMask == 0 {
+				e.cascade(w.cur)
+			}
+			continue
+		}
+		// Nothing left in this block at level 0: step to the next block.
+		w.cur = base + wheelSlotCount
+		e.cascade(w.cur)
+	}
+}
+
+// peekLive flushes the wheel just far enough that the earliest live pending
+// event, if any, sits at the heap top, and returns it (nil when the engine
+// is drained). The one-tick slack absorbs tickOf's floor-overshoot (see the
+// package comment above).
+func (e *Engine) peekLive() *Event {
+	for {
+		for len(e.events) > 0 && e.events[0].ev.dead {
+			e.release(e.heapPop())
+		}
+		if e.wheel.count == 0 {
+			if len(e.events) == 0 {
+				return nil
+			}
+			return e.events[0].ev
+		}
+		if len(e.events) == 0 {
+			e.wheelFlushNext()
+			continue
+		}
+		hTick := tickOf(e.events[0].at)
+		if e.wheel.cur > hTick+1 {
+			// Every wheel event has tick >= cur >= hTick+2, hence an exact
+			// timestamp >= (hTick+1)*granularity > heap top's. Safe to pop.
+			return e.events[0].ev
+		}
+		e.wheelFlushBelow(hTick + 2)
+	}
+}

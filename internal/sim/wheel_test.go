@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// loadEngine parks enough far-future ballast that place() engages the
+// timing wheel (the wheelMinHeap bypass is a cost policy for near-empty
+// engines; these tests want the wheel exercised).
+func loadEngine(e *Engine) {
+	for i := 0; i < 2*wheelMinHeap; i++ {
+		e.At(1e6+float64(i), func() {})
+	}
+}
+
+// TestWheelOrderAcrossBands schedules events in every scheduling band —
+// same-tick (heap), level 0, level 1, and beyond the horizon (heap
+// overflow) — and asserts global (at, seq) execution order.
+func TestWheelOrderAcrossBands(t *testing.T) {
+	e := NewEngine()
+	loadEngine(e)
+	delays := []float64{
+		0, 1e-9, wheelGranularity / 2, // same-tick band
+		wheelGranularity * 3, 0.001, 0.003, // level 0
+		0.01, 0.1, 0.9, // level 1
+		2.0, 10.0, // beyond the horizon
+	}
+	var got []float64
+	for _, d := range delays {
+		d := d
+		e.After(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(100)
+	if len(got) != len(delays) {
+		t.Fatalf("ran %d events, want %d", len(got), len(delays))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+}
+
+// TestWheelFIFOTieBreak pins same-timestamp FIFO across bands: events
+// scheduled at the same instant from different code paths must fire in
+// scheduling order even when some were bucketed and flushed.
+func TestWheelFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	loadEngine(e)
+	var got []int
+	const at = 0.05 // level-1 band
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(at, func() { got = append(got, i) })
+	}
+	e.RunUntil(1)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO after wheel flush: %v", got)
+		}
+	}
+}
+
+// TestWheelTimerStop cancels wheel-resident timers; they must not fire and
+// must be recycled without disturbing live events.
+func TestWheelTimerStop(t *testing.T) {
+	e := NewEngine()
+	loadEngine(e)
+	fired := 0
+	var timers []*Timer
+	for i := 0; i < 20; i++ {
+		timers = append(timers, e.After(0.01+float64(i)*0.001, func() { fired++ }))
+	}
+	for i, tm := range timers {
+		if i%2 == 0 && !tm.Stop() {
+			t.Fatalf("Stop failed on pending wheel timer %d", i)
+		}
+	}
+	e.RunUntil(1)
+	if fired != 10 {
+		t.Fatalf("fired %d, want 10 (half stopped)", fired)
+	}
+}
+
+// TestWheelLongIdle exercises block-crossing and cascade over gaps much
+// wider than a level-0 block, and an empty-wheel clock jump.
+func TestWheelLongIdle(t *testing.T) {
+	e := NewEngine()
+	loadEngine(e)
+	var got []float64
+	for _, d := range []float64{0.0001, 0.5, 0.50001, 1.04, 300} {
+		d := d
+		e.After(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(1e5)
+	want := []float64{0.0001, 0.5, 0.50001, 1.04, 300}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWheelOrderProperty is the quick-check ordering property with the
+// wheel engaged: any multiset of times executes in sorted order, with ties
+// in scheduling order.
+func TestWheelOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		loadEngine(e)
+		type rec struct {
+			at  float64
+			ord int
+		}
+		var got []rec
+		for ord, d := range delays {
+			at := float64(d) / 5000 // spans all bands up to ~13 s
+			ord := ord
+			e.At(at, func() { got = append(got, rec{at, ord}) })
+		}
+		e.RunUntil(1e5)
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].ord < got[i-1].ord {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWheelRunUntilBoundary checks RunUntil stops exactly at the deadline
+// with wheel-resident events on both sides of it.
+func TestWheelRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	loadEngine(e)
+	ran := map[float64]bool{}
+	for _, d := range []float64{0.01, 0.02, 0.03, 0.04} {
+		d := d
+		e.After(d, func() { ran[d] = true })
+	}
+	e.RunUntil(0.025)
+	if !ran[0.01] || !ran[0.02] || ran[0.03] || ran[0.04] {
+		t.Fatalf("RunUntil(0.025) ran wrong set: %v", ran)
+	}
+	if e.Now() != 0.025 {
+		t.Fatalf("clock = %v, want 0.025", e.Now())
+	}
+	e.RunUntil(1)
+	if !ran[0.03] || !ran[0.04] {
+		t.Fatalf("resume did not drain the wheel: %v", ran)
+	}
+}
+
+// TestWheelReactivatesAfterIdle pins the cursor-resync fix: after the
+// wheel drains and simulated time coasts far past the level-1 horizon, new
+// near-future events must still be bucketed (a stale cursor used to make
+// every insert look beyond-horizon, silently degrading to pure-heap
+// scheduling for the rest of the run).
+func TestWheelReactivatesAfterIdle(t *testing.T) {
+	e := NewEngine()
+	loadEngine(e) // far ballast keeps the heap above wheelMinHeap
+	e.After(0.01, func() {})
+	e.RunUntil(10) // drain the wheel, coast ~10x past the horizon
+	if e.wheel.count != 0 {
+		t.Fatalf("wheel still holds %d events after drain", e.wheel.count)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.After(0.001*float64(i+1), func() { fired++ })
+	}
+	if e.wheel.count == 0 {
+		t.Fatal("near-future events bypassed the wheel: cursor was not resynced after idle")
+	}
+	e.RunUntil(11)
+	if fired != 10 {
+		t.Fatalf("fired %d, want 10", fired)
+	}
+}
+
+// TestWheelPending counts live events across heap, wheel, and stopped
+// timers.
+func TestWheelPending(t *testing.T) {
+	e := NewEngine()
+	loadEngine(e)
+	base := e.Pending()
+	tm := e.After(0.01, func() {})
+	e.After(0.02, func() {})
+	if got := e.Pending(); got != base+2 {
+		t.Fatalf("Pending = %d, want %d", got, base+2)
+	}
+	tm.Stop()
+	if got := e.Pending(); got != base+1 {
+		t.Fatalf("Pending after Stop = %d, want %d", got, base+1)
+	}
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# bench.sh — run the tier-1 benchmark set and snapshot it as JSON.
+#
+# Usage:
+#   scripts/bench.sh [OUT.json]        # default: BENCH_<n+1>.json, one past the
+#                                      # highest checked-in snapshot, so a bare
+#                                      # run extends the trajectory instead of
+#                                      # clobbering a previous PR's point
+#   BENCHTIME=5x scripts/bench.sh      # override go test -benchtime (default 1x)
+#   COUNT=3 scripts/bench.sh           # override -count (default 1)
+#
+# The tier-1 set is: every paper-experiment benchmark at the repo root
+# (bench_test.go) plus the scheduler/network microbenchmarks in
+# internal/sim and internal/netem. Raw `go test -bench` output is kept next
+# to the JSON (OUT.json -> OUT.txt) so benchstat can compare two snapshots:
+#
+#   go run golang.org/x/perf/cmd/benchstat@latest old.txt new.txt
+#
+# The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op,
+# metrics{...}} and exists so the repo carries a perf trajectory: each perf
+# PR checks in a fresh BENCH_<n>.json produced by this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+next_index() {
+    local max=0 n
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        n="${f#BENCH_}"; n="${n%.json}"
+        case "$n" in *[!0-9]*) continue ;; esac
+        [ "$n" -gt "$max" ] && max="$n"
+    done
+    echo $((max + 1))
+}
+
+OUT="${1:-BENCH_$(next_index).json}"
+RAW="${OUT%.json}.txt"
+BENCHTIME="${BENCHTIME:-1x}"
+COUNT="${COUNT:-1}"
+
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
+    . ./internal/sim ./internal/netem | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" -v out="$OUT" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""; metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op")          ns = v
+        else if (u == "B/op")      bytes = v
+        else if (u == "allocs/op") allocs = v
+        else {
+            gsub(/"/, "", u)
+            metrics = metrics sprintf("%s\"%s\": %s", metrics == "" ? "" : ", ", u, v)
+        }
+    }
+    if (ns == "") next
+    entry = sprintf("    \"%s\": {\"ns_per_op\": %s", name, ns)
+    if (bytes != "")   entry = entry sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "")  entry = entry sprintf(", \"allocs_per_op\": %s", allocs)
+    if (metrics != "") entry = entry sprintf(", \"metrics\": {%s}", metrics)
+    entry = entry "}"
+    if (!(name in entries)) order[n++] = name
+    entries[name] = entry   # -count > 1: last run wins, keys stay unique
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", benchtime > out
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", entries[order[i]], i + 1 < n ? "," : "" >> out
+    printf "  }\n}\n" >> out
+}
+' "$RAW"
+
+echo "wrote $OUT (raw output in $RAW)"
