@@ -278,3 +278,13 @@ func BenchmarkRevPath(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkMixMTU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := exp.RunMixMTU(benchScale, benchSeed)
+		// Cross-flow fairness when 512/1400/9000 B packets share the path.
+		if r := findRow(rep, "pcc"); r >= 0 {
+			b.ReportMetric(cell(rep, r, 5), "pcc_jain")
+		}
+	}
+}

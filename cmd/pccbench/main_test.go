@@ -17,6 +17,7 @@ func TestListGolden(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig5", "fig6", "fig7", "fig8", "fig9",
 		"loss50",
+		"mixmtu",
 		"parklot",
 		"revpath",
 		"table1",

@@ -17,8 +17,9 @@ package cc
 
 import "math"
 
-// MSS is the simulated maximum segment size in bytes, including headers.
-// The paper's experiments use 1.5 KB packets throughout.
+// MSS is the default simulated segment size in bytes, including headers.
+// The paper's experiments use 1.5 KB packets throughout; per-flow packet
+// sizes are set with the senders' PktSize knob (mixed-MTU scenarios).
 const MSS = 1500
 
 // AckSize is the simulated ACK wire size in bytes.

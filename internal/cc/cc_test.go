@@ -241,3 +241,50 @@ func TestReceiverBuckets(t *testing.T) {
 		t.Fatalf("bucket series = %v", s)
 	}
 }
+
+// TestWindowSenderHonorsPktSize: a small-packet flow's delivered bytes and
+// window-limited throughput both scale with the configured wire size.
+func TestWindowSenderHonorsPktSize(t *testing.T) {
+	eng := sim.NewEngine()
+	d, seeds := buildPath(eng, 9, 100, 0.030, 0, 375*netem.KB)
+	recv := NewReceiver(eng, 0)
+	recv.SendAck = d.SendAck
+	ws := NewWindowSender(eng, 0, &fixedWindow{w: 20}, d.SendData)
+	ws.PktSize = 512
+	ws.FlowPackets = 500
+	doneAt := -1.0
+	ws.OnDone = func(now float64) { doneAt = now }
+	d.AddFlow(0, netem.SymmetricRTT(0.030), seeds, recv.OnData, ws.OnAck)
+	eng.At(0, ws.Start)
+	eng.RunUntil(60)
+	if doneAt < 0 {
+		t.Fatal("finite 512-byte flow never completed")
+	}
+	if recv.UniqueBytes() != 500*512 {
+		t.Fatalf("delivered %d bytes, want %d", recv.UniqueBytes(), 500*512)
+	}
+}
+
+// TestRateSenderHonorsPktSize: the pacing clock spaces PktSize-sized
+// packets, so a fixed byte rate delivers the same goodput regardless of the
+// packet size carrying it.
+func TestRateSenderHonorsPktSize(t *testing.T) {
+	for _, size := range []int{512, 9000} {
+		eng := sim.NewEngine()
+		d, seeds := buildPath(eng, 3, 100, 0.030, 0, 375*netem.KB)
+		recv := NewReceiver(eng, 0)
+		recv.SendAck = d.SendAck
+		rs := NewRateSender(eng, 0, &fixedRate{r: 1.25e6}, d.SendData) // 10 Mbps
+		rs.PktSize = size
+		d.AddFlow(0, netem.SymmetricRTT(0.030), seeds, recv.OnData, rs.OnAck)
+		eng.At(0, rs.Start)
+		eng.RunUntil(30)
+		got := float64(recv.UniqueBytes()) / 30
+		if got < 1.25e6*0.95 || got > 1.25e6*1.05 {
+			t.Fatalf("size %d: goodput %.0f B/s, want ~1.25e6", size, got)
+		}
+		if rem := recv.UniqueBytes() % int64(size); rem != 0 {
+			t.Fatalf("size %d: delivered bytes %d not a multiple of the wire size", size, recv.UniqueBytes())
+		}
+	}
+}

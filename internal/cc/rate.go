@@ -35,6 +35,10 @@ type RateSender struct {
 	// and consumed ACKs are returned to it. It must belong to this sender's
 	// engine (pooling never crosses goroutines).
 	Pool *netem.PacketPool
+	// PktSize is the wire size of every data packet this flow sends
+	// (default MSS). It is what the pacing clock spaces, what the network
+	// serializes, and what the algorithm's OnSend hook is told.
+	PktSize int
 
 	win      seqWindow
 	nextSeq  int64
@@ -80,6 +84,7 @@ func NewRateSender(eng *sim.Engine, flow int, algo RateAlgo, sendData func(*nete
 		DupThresh: 3,
 		MinRate:   2 * MSS,
 		RTTHint:   0.1,
+		PktSize:   MSS,
 		sackHigh:  -1,
 	}
 	// Bound once: the pacing and tail-loss loops reschedule themselves every
@@ -143,7 +148,7 @@ func (s *RateSender) sendLoop() {
 			s.lastRate = r
 		}
 	}
-	interval := MSS / r
+	interval := float64(s.PktSize) / r
 	s.Eng.Rearm(&s.sendTimer, interval, s.sendLoopFn)
 }
 
@@ -171,8 +176,8 @@ func (s *RateSender) sendOne(now float64) {
 	s.sentPkts++
 	st.sentAt = now
 	p := s.Pool.Get()
-	p.Flow, p.Seq, p.Size, p.Sent = s.Flow, st.seq, MSS, now
-	s.Algo.OnSend(st.seq, MSS, now)
+	p.Flow, p.Seq, p.Size, p.Sent = s.Flow, st.seq, s.PktSize, now
+	s.Algo.OnSend(st.seq, s.PktSize, now)
 	s.SendData(p)
 	s.armTail()
 }

@@ -44,6 +44,10 @@ type WindowSender struct {
 	// and consumed ACKs are returned to it. It must belong to this sender's
 	// engine (pooling never crosses goroutines).
 	Pool *netem.PacketPool
+	// PktSize is the wire size of every data packet this flow sends
+	// (default MSS); the cwnd stays packet-denominated, so a small-packet
+	// flow's window covers proportionally fewer bytes.
+	PktSize int
 
 	win      seqWindow
 	nextSeq  int64
@@ -83,6 +87,7 @@ func NewWindowSender(eng *sim.Engine, flow int, algo WindowAlgo, sendData func(*
 		RTTHint:    0.1,
 		DupThresh:  3,
 		MaxCwnd:    65536,
+		PktSize:    MSS,
 		sackHigh:   -1,
 		lossScan:   0,
 		rtoBackoff: 1,
@@ -166,8 +171,8 @@ func (s *WindowSender) schedulePace() {
 	if !s.Est.HasSample() {
 		rtt = s.RTTHint
 	}
-	rate := s.cwnd() * MSS / rtt // bytes/s
-	interval := MSS / rate
+	rate := s.cwnd() * float64(s.PktSize) / rtt // bytes/s
+	interval := float64(s.PktSize) / rate
 	s.Eng.Rearm(&s.paceTimer, interval, s.paceFn)
 }
 
@@ -198,7 +203,7 @@ func (s *WindowSender) sendOne() {
 	s.sentPkts++
 	st.sentAt = now
 	p := s.Pool.Get()
-	p.Flow, p.Seq, p.Size, p.Sent = s.Flow, st.seq, MSS, now
+	p.Flow, p.Seq, p.Size, p.Sent = s.Flow, st.seq, s.PktSize, now
 	s.SendData(p)
 	s.armRTO()
 }

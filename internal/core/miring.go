@@ -1,29 +1,38 @@
 package core
 
-// miRing maps in-flight sequence numbers to their monitor interval. It
-// replaces a map[int64]*mi on the per-packet send/ack path: resident
-// sequences always lie in one contiguous window [lo, hi) — new sends extend
-// hi, retransmissions of old sequences extend lo back down — so a sequence's
-// slot is seq mod capacity, one indexed load instead of a map probe, and
-// the structure allocates only on the rare window doubling. Semantically it
-// is exactly the map: get returns nil for absent keys, put overwrites,
-// delete clears.
+// miSlot is one resident entry of the ring: the monitor interval a sequence
+// belongs to plus the wire size recorded for it at OnSend, so the ACK path
+// can credit the packet's true size without a second lookup structure.
+type miSlot struct {
+	m    *mi
+	size int32
+}
+
+// miRing maps in-flight sequence numbers to their monitor interval and
+// recorded send size. It replaces a map[int64]*mi on the per-packet
+// send/ack path: resident sequences always lie in one contiguous window
+// [lo, hi) — new sends extend hi, retransmissions of old sequences extend lo
+// back down — so a sequence's slot is seq mod capacity, one indexed load
+// instead of a map probe, and the structure allocates only on the rare
+// window doubling. Semantically it is exactly the map: get returns nil for
+// absent keys, put overwrites, delete clears.
 type miRing struct {
-	slots  []*mi // power-of-two capacity
-	lo, hi int64 // resident window; empty iff lo == hi
-	n      int   // resident count
+	slots  []miSlot // power-of-two capacity
+	lo, hi int64    // resident window; empty iff lo == hi
+	n      int      // resident count
 }
 
-func (r *miRing) get(seq int64) *mi {
+func (r *miRing) get(seq int64) (*mi, int) {
 	if seq < r.lo || seq >= r.hi {
-		return nil
+		return nil, 0
 	}
-	return r.slots[seq&int64(len(r.slots)-1)]
+	s := r.slots[seq&int64(len(r.slots)-1)]
+	return s.m, int(s.size)
 }
 
-func (r *miRing) put(seq int64, m *mi) {
+func (r *miRing) put(seq int64, m *mi, size int) {
 	if r.slots == nil {
-		r.slots = make([]*mi, 256)
+		r.slots = make([]miSlot, 256)
 	}
 	if r.n == 0 {
 		r.lo, r.hi = seq, seq+1
@@ -41,10 +50,10 @@ func (r *miRing) put(seq int64, m *mi) {
 		r.lo, r.hi = lo, hi
 	}
 	i := seq & int64(len(r.slots)-1)
-	if r.slots[i] == nil {
+	if r.slots[i].m == nil {
 		r.n++
 	}
-	r.slots[i] = m
+	r.slots[i] = miSlot{m: m, size: int32(size)}
 }
 
 func (r *miRing) del(seq int64) {
@@ -52,10 +61,10 @@ func (r *miRing) del(seq int64) {
 		return
 	}
 	i := seq & int64(len(r.slots)-1)
-	if r.slots[i] == nil {
+	if r.slots[i].m == nil {
 		return
 	}
-	r.slots[i] = nil
+	r.slots[i] = miSlot{}
 	r.n--
 	if r.n == 0 {
 		r.lo, r.hi = 0, 0
@@ -63,10 +72,10 @@ func (r *miRing) del(seq int64) {
 	}
 	// Advance the window edges past cleared slots so the span tracks the
 	// resident set instead of growing monotonically.
-	for r.slots[r.lo&int64(len(r.slots)-1)] == nil && r.lo < r.hi {
+	for r.slots[r.lo&int64(len(r.slots)-1)].m == nil && r.lo < r.hi {
 		r.lo++
 	}
-	for r.slots[(r.hi-1)&int64(len(r.slots)-1)] == nil && r.hi > r.lo {
+	for r.slots[(r.hi-1)&int64(len(r.slots)-1)].m == nil && r.hi > r.lo {
 		r.hi--
 	}
 }
@@ -76,11 +85,11 @@ func (r *miRing) del(seq int64) {
 func (r *miRing) grow() {
 	old := r.slots
 	oldMask := int64(len(old) - 1)
-	r.slots = make([]*mi, 2*len(old))
+	r.slots = make([]miSlot, 2*len(old))
 	mask := int64(len(r.slots) - 1)
 	for seq := r.lo; seq < r.hi; seq++ {
-		if m := old[seq&oldMask]; m != nil {
-			r.slots[seq&mask] = m
+		if s := old[seq&oldMask]; s.m != nil {
+			r.slots[seq&mask] = s
 		}
 	}
 }

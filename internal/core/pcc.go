@@ -4,8 +4,10 @@ import (
 	"math/rand"
 )
 
-// MSS is the segment size assumed for the "at least 10 packets per MI"
-// rule; it matches the simulator's and transport's packet size.
+// MSS is the default data packet size assumed when Config.PacketSize is
+// unset; it matches the simulator's default. Per-packet byte accounting
+// never assumes it: OnSend records each packet's true size and OnAck
+// credits exactly that size.
 const MSS = 1500
 
 // Config parameterizes a PCC sender. The zero value is not usable; call
@@ -35,6 +37,12 @@ type Config struct {
 	// FinalizeRTTs is how many smoothed RTTs after an MI ends to wait for
 	// its straggler ACKs before computing its stats (default 1.5).
 	FinalizeRTTs float64
+	// PacketSize is the data packet size in bytes the sender will use
+	// (default MSS). The monitor uses it for the MinPktsPerMI duration
+	// floor and to infer the caller's RTT hint back from InitialRate; the
+	// per-packet byte accounting itself always uses the true size reported
+	// at OnSend.
+	PacketSize int
 }
 
 // DefaultConfig returns the paper's default parameters with the safe
@@ -54,6 +62,24 @@ func DefaultConfig(rttHint float64) Config {
 		MinRate:      2 * MSS, // 2 packets/s absolute floor
 		FinalizeRTTs: 1.5,
 	}
+}
+
+// SizedConfig returns DefaultConfig with a non-default data packet size
+// applied: the MinPktsPerMI duration floor, the initial rate and the rate
+// floor all scale to the flow's packet size (2 packets per RTT / per
+// second, as DefaultConfig's MSS-based values do for 1500-byte flows).
+func SizedConfig(rttHint float64, packetSize int) Config {
+	c := DefaultConfig(rttHint)
+	if packetSize <= 0 || packetSize == MSS {
+		return c
+	}
+	if rttHint <= 0 {
+		rttHint = 0.1
+	}
+	c.PacketSize = packetSize
+	c.InitialRate = 2 * float64(packetSize) / rttHint
+	c.MinRate = 2 * float64(packetSize)
+	return c
 }
 
 // HeavyLossConfig returns the configuration for flows expecting extreme
@@ -150,8 +176,11 @@ func New(cfg Config, rng *rand.Rand) *PCC {
 	if cfg.MinPktsPerMI <= 0 {
 		cfg.MinPktsPerMI = 10
 	}
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = MSS
+	}
 	if cfg.MinRate <= 0 {
-		cfg.MinRate = 2 * MSS
+		cfg.MinRate = 2 * float64(cfg.PacketSize) // 2 packets/s absolute floor
 	}
 	if cfg.FinalizeRTTs <= 0 {
 		cfg.FinalizeRTTs = 1.5
@@ -163,8 +192,8 @@ func New(cfg Config, rng *rand.Rand) *PCC {
 	p.ctl = NewController(cfg, rng)
 	p.srtt = 0.1
 	if cfg.InitialRate > 0 {
-		// Infer the caller's RTT hint back from InitialRate = 2·MSS/RTT.
-		p.srtt = 2 * MSS / cfg.InitialRate
+		// Infer the caller's RTT hint back from InitialRate = 2·pkt/RTT.
+		p.srtt = 2 * float64(cfg.PacketSize) / cfg.InitialRate
 	}
 	return p
 }
@@ -189,7 +218,7 @@ func (p *PCC) Start(now float64) {
 // miDuration draws the §3.1 monitor-interval length:
 // max(time for MinPktsPerMI packets, U[MIRttLo, MIRttHi]·RTT).
 func (p *PCC) miDuration(rate float64) float64 {
-	tPkts := float64(p.cfg.MinPktsPerMI) * MSS / rate
+	tPkts := float64(p.cfg.MinPktsPerMI) * float64(p.cfg.PacketSize) / rate
 	lo, hi := p.cfg.MIRttLo, p.cfg.MIRttHi
 	tRtt := (lo + (hi-lo)*p.rng.Float64()) * p.srtt
 	if tPkts > tRtt {
@@ -224,7 +253,18 @@ func (p *PCC) closeMI(now float64) {
 		m.end = now // realigned early
 	}
 	m.deadline = m.end + p.cfg.FinalizeRTTs*p.srtt
-	p.pending = append(p.pending, m)
+	// Insert in deadline order. MIs close in time order but deadlines are
+	// end + FinalizeRTTs·srtt with a moving srtt, so when srtt shrinks
+	// faster than MIs lengthen, a later MI's deadline can precede an
+	// earlier one's — and the finalize loop in advance only examines the
+	// head, so an unexpired head must never hide an expired later entry.
+	i := len(p.pending)
+	for i > 0 && p.pending[i-1].deadline > m.deadline {
+		i--
+	}
+	p.pending = append(p.pending, nil)
+	copy(p.pending[i+1:], p.pending[i:])
+	p.pending[i] = m
 	p.openMI(now)
 }
 
@@ -257,7 +297,7 @@ func (p *PCC) advance(now float64) {
 // finalize computes an MI's stats and feeds the controller.
 func (p *PCC) finalize(m *mi) {
 	for _, seq := range m.seqs {
-		if p.bySeq.get(seq) == m {
+		if owner, _ := p.bySeq.get(seq); owner == m {
 			p.bySeq.del(seq)
 		}
 	}
@@ -312,7 +352,7 @@ func (p *PCC) OnSend(seq int64, size int, now float64) {
 	m.sent++
 	m.sentBytes += int64(size)
 	m.seqs = append(m.seqs, seq)
-	p.bySeq.put(seq, m)
+	p.bySeq.put(seq, m, size)
 	p.TotalSent++
 }
 
@@ -329,12 +369,12 @@ func (p *PCC) OnAck(seq int64, rtt float64, now float64) {
 		}
 	}
 	p.advance(now)
-	m := p.bySeq.get(seq)
+	m, size := p.bySeq.get(seq)
 	if m == nil {
 		return // MI already finalized: the straggler counts as lost
 	}
 	m.acked++
-	m.ackedBytes += int64(MSS)
+	m.ackedBytes += int64(size)
 	if rtt > 0 {
 		tr := now - m.start
 		m.sumT += tr

@@ -31,6 +31,10 @@ func TestParallelMatchesSequential(t *testing.T) {
 		// pair must also be byte-identical at any worker count.
 		{"parklot", 0.01, 42},
 		{"revpath", 0.01, 42},
+		// Mixed packet sizes (512/1400/9000 B on one path): the per-flow
+		// size knob and the byte-granular link ledger must stay
+		// byte-identical at any worker count too.
+		{"mixmtu", 0.01, 42},
 	}
 	for _, tc := range cases {
 		t.Run(tc.id, func(t *testing.T) {

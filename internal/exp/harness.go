@@ -79,6 +79,12 @@ type FlowSpec struct {
 	StartAt float64
 	// FlowKB limits the flow to this many kilobytes (0 = unbounded).
 	FlowKB int
+	// PacketSize is the flow's data packet wire size in bytes (0 = cc.MSS,
+	// 1500). Flows on one topology may mix sizes freely — interactive mice
+	// at 512 B sharing a bottleneck with 9000-byte jumbo bulk — and every
+	// layer (pacing clock, link serialization, queue occupancy, monitor
+	// byte accounting) uses the true per-packet size.
+	PacketSize int
 	// Bucket enables per-bucket goodput series of this width, seconds.
 	Bucket float64
 	// PCCConfig overrides the default PCC configuration (pcc only).
@@ -245,6 +251,10 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	if topoFlow {
 		capacity = r.RouteCapacity(spec.FwdRoute)
 	}
+	pktSize := spec.PacketSize
+	if pktSize <= 0 {
+		pktSize = cc.MSS
+	}
 	f := &Flow{ID: id, Spec: spec, DoneAt: -1}
 	r.Flows = append(r.Flows, f)
 	f.Recv = cc.NewReceiver(r.Eng, id)
@@ -253,7 +263,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	f.Recv.Bucket = spec.Bucket
 	var flowPkts int64
 	if spec.FlowKB > 0 {
-		flowPkts = int64((spec.FlowKB*1000 + cc.MSS - 1) / cc.MSS)
+		flowPkts = int64((spec.FlowKB*1000 + pktSize - 1) / pktSize)
 		f.Recv.FlowPackets = flowPkts
 	}
 
@@ -270,12 +280,28 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 
 	switch spec.Proto {
 	case "pcc":
-		pcfg := core.DefaultConfig(rtt)
+		pcfg := core.SizedConfig(rtt, pktSize)
 		if spec.PCCConfig != nil {
 			pcfg = *spec.PCCConfig
 		}
 		if spec.Utility != nil {
 			pcfg.Utility = spec.Utility
+		}
+		if pcfg.PacketSize == 0 {
+			// A caller-supplied config that does not pin a size inherits the
+			// flow's wire size, so the monitor's MI floor matches the sender.
+			pcfg.PacketSize = pktSize
+			if spec.PCCConfig != nil && pktSize != cc.MSS {
+				// Rescale the rate seeds exactly as SizedConfig would:
+				// caller configs derive InitialRate as 2·MSS/rtt, and
+				// core.New back-solves the srtt seed from InitialRate and
+				// PacketSize — inheriting the size without rescaling the
+				// rate would corrupt that inference. A caller who wants a
+				// custom InitialRate with a custom size pins PacketSize in
+				// the config itself, which skips this block entirely.
+				pcfg.InitialRate = 2 * float64(pktSize) / rtt
+				pcfg.MinRate = 2 * float64(pktSize)
+			}
 		}
 		algo := core.New(pcfg, r.Seeds.NextRand())
 		f.PCC = algo
@@ -307,12 +333,17 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		// Socket-buffer-like clamp: 8x the path BDP, floored generously so
 		// small-BDP paths still allow bursts. An unconstrained (link-less)
 		// route keeps the sender's default window bound.
-		bdpPkts := capacity * rtt / cc.MSS
+		bdpPkts := capacity * rtt / float64(pktSize)
 		f.WS.MaxCwnd = 8*bdpPkts + 1000
 	}
 
 	if f.RS != nil {
 		f.RS.Pool = r.PktPool
+		f.RS.PktSize = pktSize
+		// Keep the sender-side floor at 2 packets/s in the flow's own
+		// size, matching the algorithms' scaled MinRate (for the default
+		// 1500 B this is exactly the constructor's 2*MSS).
+		f.RS.MinRate = 2 * float64(pktSize)
 		f.RS.FlowPackets = flowPkts
 		f.RS.RTTHint = rtt
 		f.RS.TraceRate = spec.TraceRate
@@ -321,6 +352,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		r.Eng.At(spec.StartAt, f.RS.Start)
 	} else {
 		f.WS.Pool = r.PktPool
+		f.WS.PktSize = pktSize
 		f.WS.FlowPackets = flowPkts
 		f.WS.OnDone = func(now float64) { f.DoneAt = now }
 		addPath(f.Recv.OnData, f.WS.OnAck)

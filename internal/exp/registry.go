@@ -31,6 +31,7 @@ var drivers = map[string]Driver{
 	"ablation": RunAblation,
 	"parklot":  RunParkingLot,
 	"revpath":  RunRevPath,
+	"mixmtu":   RunMixMTU,
 }
 
 // Run dispatches an experiment by ID.

@@ -23,6 +23,7 @@ type CoDel struct {
 	Pool *PacketPool
 
 	drops      int64
+	dropBytes  int64
 	dropping   bool
 	firstAbove float64 // time at which dropping may begin; 0 = sojourn not above target
 	dropNext   float64 // time of next scheduled drop while dropping
@@ -39,6 +40,7 @@ func NewCoDel(capBytes int) *CoDel {
 func (c *CoDel) Enqueue(p *Packet, now float64) bool {
 	if c.q.count > 0 && c.CapBytes >= 0 && c.q.bytes+p.Size > c.CapBytes {
 		c.drops++
+		c.dropBytes += int64(p.Size)
 		return false
 	}
 	p.Enq = now
@@ -77,6 +79,7 @@ func (c *CoDel) Dequeue(now float64) *Packet {
 		}
 		for now >= c.dropNext && c.dropping {
 			c.drops++
+			c.dropBytes += int64(p.Size)
 			c.dropCount++
 			c.Pool.Put(p)
 			p = c.q.pop()
@@ -95,6 +98,7 @@ func (c *CoDel) Dequeue(now float64) *Packet {
 	if c.shouldDrop(p, now) {
 		// Enter dropping state: drop this packet and arm the control law.
 		c.drops++
+		c.dropBytes += int64(p.Size)
 		c.Pool.Put(p)
 		p2 := c.q.pop()
 		c.dropping = true
@@ -119,3 +123,6 @@ func (c *CoDel) Bytes() int { return c.q.bytes }
 
 // Dropped implements Queue.
 func (c *CoDel) Dropped() int64 { return c.drops }
+
+// DroppedBytes implements Queue.
+func (c *CoDel) DroppedBytes() int64 { return c.dropBytes }

@@ -171,3 +171,14 @@ func (f *FQ) Dropped() int64 {
 	}
 	return n
 }
+
+// DroppedBytes implements Queue, summing over the per-flow child queues.
+func (f *FQ) DroppedBytes() int64 {
+	var n int64
+	for _, fl := range f.flows {
+		if fl != nil {
+			n += fl.q.DroppedBytes()
+		}
+	}
+	return n
+}

@@ -45,7 +45,17 @@ type Link struct {
 	busy      bool
 	delivered int64
 	lost      int64
-	busyUntil float64
+	// Byte-granular accounting, so conservation can be audited per hop
+	// when flows mix packet sizes: offeredBytes counts every byte handed to
+	// Send; deliveredBytes/lostBytes split the bytes that finished
+	// serialization; the queue tracks its own dropped bytes. The remainder
+	// (offered − delivered − lost − queue-dropped − queued) is exactly the
+	// packet on the wire head, exposed as TxBytes.
+	offeredBytes   int64
+	deliveredBytes int64
+	lostBytes      int64
+	txBytes        int64 // size of the packet serializing now; 0 when idle
+	busyUntil      float64
 	// finishFn/deliverFn are allocated once so per-packet scheduling needs
 	// no capturing closures (see sim.Engine.PostArg). The serializer has at
 	// most one outstanding event per link (the packet on the wire head),
@@ -76,6 +86,7 @@ func NewLink(eng *sim.Engine, q Queue, rateBps, delay, lossRate float64, rng *ra
 // Send offers a packet to the link. Packets rejected by the queue are
 // dropped silently (the queue counts them).
 func (l *Link) Send(p *Packet) {
+	l.offeredBytes += int64(p.Size)
 	if !l.Queue.Enqueue(p, l.Eng.Now()) {
 		l.Pool.Put(p)
 		return
@@ -91,9 +102,11 @@ func (l *Link) transmitNext() {
 	p := l.Queue.Dequeue(l.Eng.Now())
 	if p == nil {
 		l.busy = false
+		l.txBytes = 0
 		return
 	}
 	l.busy = true
+	l.txBytes = int64(p.Size)
 	txTime := float64(p.Size) / l.Rate
 	l.busyUntil = l.Eng.Now() + txTime
 	l.Eng.PostArg(txTime, l.finishFn, p)
@@ -102,9 +115,11 @@ func (l *Link) transmitNext() {
 func (l *Link) finish(p *Packet) {
 	if l.LossRate > 0 && l.rng.Valid() && l.rng.Float64() < l.LossRate {
 		l.lost++
+		l.lostBytes += int64(p.Size)
 		l.Pool.Put(p)
 	} else {
 		l.delivered++
+		l.deliveredBytes += int64(p.Size)
 		if l.Delay == 0 {
 			// Zero-delay link (the dumbbell bottleneck: all propagation
 			// lives in the access hops): the pipe would never batch —
@@ -125,6 +140,21 @@ func (l *Link) Delivered() int64 { return l.delivered }
 
 // WireLost returns the number of packets lost to the random-loss process.
 func (l *Link) WireLost() int64 { return l.lost }
+
+// OfferedBytes returns the wire bytes of every packet offered to the link,
+// accepted or not.
+func (l *Link) OfferedBytes() int64 { return l.offeredBytes }
+
+// DeliveredBytes returns the wire bytes delivered to the sink.
+func (l *Link) DeliveredBytes() int64 { return l.deliveredBytes }
+
+// WireLostBytes returns the wire bytes lost to the random-loss process.
+func (l *Link) WireLostBytes() int64 { return l.lostBytes }
+
+// TxBytes returns the size of the packet currently serializing (0 when the
+// link is idle) — the only bytes inside the link that are neither queued
+// nor yet delivered/lost.
+func (l *Link) TxBytes() int64 { return l.txBytes }
 
 // Utilization returns the fraction of [since, now] the link spent
 // transmitting, assuming the caller tracked `since` themselves; exposed as a

@@ -16,6 +16,11 @@ type Queue interface {
 	Bytes() int
 	// Dropped returns the cumulative number of packets dropped by the queue.
 	Dropped() int64
+	// DroppedBytes returns the cumulative wire bytes of those drops, so
+	// byte-level conservation can be checked per hop even when flows mix
+	// packet sizes (a packet count alone cannot say how many bytes a
+	// mixed-MTU queue shed).
+	DroppedBytes() int64
 }
 
 // fifo is the common packet ring shared by queue implementations. The ring
@@ -82,6 +87,7 @@ type DropTail struct {
 	// CapPackets optionally limits the number of packets; <=0 disables it.
 	CapPackets int
 	drops      int64
+	dropBytes  int64
 }
 
 // NewDropTail returns a drop-tail queue holding at most capBytes bytes.
@@ -97,10 +103,12 @@ func (q *DropTail) Enqueue(p *Packet, now float64) bool {
 	if q.count > 0 {
 		if q.CapBytes >= 0 && q.bytes+p.Size > q.CapBytes {
 			q.drops++
+			q.dropBytes += int64(p.Size)
 			return false
 		}
 		if q.CapPackets > 0 && q.count+1 > q.CapPackets {
 			q.drops++
+			q.dropBytes += int64(p.Size)
 			return false
 		}
 	}
@@ -120,3 +128,6 @@ func (q *DropTail) Bytes() int { return q.bytes }
 
 // Dropped implements Queue.
 func (q *DropTail) Dropped() int64 { return q.drops }
+
+// DroppedBytes implements Queue.
+func (q *DropTail) DroppedBytes() int64 { return q.dropBytes }

@@ -378,14 +378,30 @@ func (t *Topology) SendAck(p *Packet) {
 	f.rev.hops[0].enter(p)
 }
 
-// LinkStats is one link's cumulative accounting. At any quiescent point,
-// packets offered to the link equal Delivered + WireLost + QueueDropped +
-// packets still queued.
+// LinkStats is one link's cumulative accounting, in packets and in wire
+// bytes. At any point, bytes offered to the link equal DeliveredBytes +
+// WireLostBytes + QueueDroppedBytes + QueuedBytes + TxBytes (the packet on
+// the wire head) — the Conserved method checks exactly that identity, which
+// packet counts alone cannot express once flows mix packet sizes.
 type LinkStats struct {
 	Name         string
 	Delivered    int64
 	WireLost     int64
 	QueueDropped int64
+
+	OfferedBytes      int64
+	DeliveredBytes    int64
+	WireLostBytes     int64
+	QueueDroppedBytes int64
+	QueuedBytes       int64
+	TxBytes           int64
+}
+
+// Conserved reports whether the link's byte ledger balances: every byte
+// offered is delivered, lost on the wire, dropped by the queue, still
+// queued, or serializing.
+func (s LinkStats) Conserved() bool {
+	return s.OfferedBytes == s.DeliveredBytes+s.WireLostBytes+s.QueueDroppedBytes+s.QueuedBytes+s.TxBytes
 }
 
 // Stats returns per-link accounting in AddLink order (deterministic, so
@@ -398,6 +414,13 @@ func (t *Topology) Stats() []LinkStats {
 			Delivered:    li.link.Delivered(),
 			WireLost:     li.link.WireLost(),
 			QueueDropped: li.link.Queue.Dropped(),
+
+			OfferedBytes:      li.link.OfferedBytes(),
+			DeliveredBytes:    li.link.DeliveredBytes(),
+			WireLostBytes:     li.link.WireLostBytes(),
+			QueueDroppedBytes: li.link.Queue.DroppedBytes(),
+			QueuedBytes:       int64(li.link.Queue.Bytes()),
+			TxBytes:           li.link.TxBytes(),
 		}
 	}
 	return out

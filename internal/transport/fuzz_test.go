@@ -22,6 +22,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(append([]byte(nil), buf[:n]...))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x01, 0x02})
+	// Wire edge cases: the maximum 32-range ACK (must round-trip through
+	// the receiver's 1024-byte ackBuf), the same ACK truncated inside its
+	// trailing echo fields, and a zero-length final payload.
+	n = encodeAck(buf[:], maxAck())
+	f.Add(append([]byte(nil), buf[:n]...))
+	f.Add(append([]byte(nil), buf[:n-7]...))
+	n = encodeData(buf[:], 3, 77, 555, nil)
+	f.Add(append([]byte(nil), buf[:n]...))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if len(b) == 0 {

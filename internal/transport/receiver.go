@@ -11,7 +11,7 @@ import (
 // SACK feedback PCC's monitor consumes. It requires no congestion-control
 // intelligence (§2.3: "No receiver change").
 type Receiver struct {
-	conn *net.UDPConn
+	conn UDPConn
 	out  io.Writer
 
 	mu        sync.Mutex
@@ -27,7 +27,7 @@ type Receiver struct {
 
 // NewReceiver wraps a bound UDP socket. Payloads are written to out in
 // order. Call Run to start.
-func NewReceiver(conn *net.UDPConn, out io.Writer) *Receiver {
+func NewReceiver(conn UDPConn, out io.Writer) *Receiver {
 	return &Receiver{conn: conn, out: out, ooo: map[int64][]byte{}, total: -1, done: make(chan struct{})}
 }
 

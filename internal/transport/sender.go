@@ -9,12 +9,22 @@ import (
 	"pcc/internal/core"
 )
 
+// finRetries bounds how many times the flow-terminating FIN is sent. The
+// FIN is the only packet the protocol never acknowledges, so a single lost
+// datagram would otherwise strand Receiver.Done forever; bounded repeats
+// spaced a couple of RTTs apart make that probability negligible without a
+// handshake.
+const finRetries = 10
+
 // Sender transmits a byte stream over UDP, paced at the rate the PCC
 // controller chooses. It is the real-network counterpart of the simulator's
 // RateSender: the identical core.PCC state machine drives both (§2.3 —
-// deployment needs only a sender-side change).
+// deployment needs only a sender-side change). Byte accounting is
+// size-accurate end to end: every packet — including the short final
+// chunk — reports its true payload length to the monitor, which credits
+// exactly that size when the ACK returns.
 type Sender struct {
-	conn   *net.UDPConn
+	conn   UDPConn
 	peer   *net.UDPAddr
 	flowID uint32
 
@@ -25,14 +35,18 @@ type Sender struct {
 	payloads [][]byte // chunked flow contents
 	sacked   []bool
 	lost     []bool
+	sentAt   []float64 // time of the most recent (re)transmission, per seq
 	rtxQ     []int64
 	cumAck   int64
 	sackHigh int64
 	lossScan int64
 	nextSeq  int64
 
-	sent int64
-	rtx  int64
+	sent       int64
+	rtx        int64
+	sentBytes  int64 // payload bytes over all transmissions
+	rtxBytes   int64 // payload bytes of retransmissions only
+	ackedBytes int64 // payload bytes acknowledged (each seq once)
 
 	doneCh chan struct{}
 	once   sync.Once
@@ -41,7 +55,12 @@ type Sender struct {
 // NewSender chunks the contents of r into packets and prepares a sender
 // with the given PCC configuration. The whole flow is buffered in memory —
 // these tools move files, like the paper's prototype.
-func NewSender(conn *net.UDPConn, peer *net.UDPAddr, cfg core.Config, r io.Reader) (*Sender, error) {
+func NewSender(conn UDPConn, peer *net.UDPAddr, cfg core.Config, r io.Reader) (*Sender, error) {
+	if cfg.PacketSize == 0 {
+		// The monitor's MI floor should track the wire's payload budget
+		// (1400 B), not the 1500-byte simulator default.
+		cfg.PacketSize = MSS
+	}
 	s := &Sender{
 		conn:   conn,
 		peer:   peer,
@@ -64,6 +83,7 @@ func NewSender(conn *net.UDPConn, peer *net.UDPAddr, cfg core.Config, r io.Reade
 	}
 	s.sacked = make([]bool, len(s.payloads))
 	s.lost = make([]bool, len(s.payloads))
+	s.sentAt = make([]float64, len(s.payloads))
 	return s, nil
 }
 
@@ -75,6 +95,17 @@ func (s *Sender) Stats() (sent, rtx int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sent, s.rtx
+}
+
+// ByteStats returns the sender's byte ledger: payload bytes over all
+// transmissions, the retransmitted subset, and the bytes acknowledged so
+// far (each sequence counted once). When the flow completes,
+// sent − rtx == acked == the flow's length — the cross-check the loopback
+// harness runs against the receiver's BytesWritten.
+func (s *Sender) ByteStats() (sent, rtx, acked int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sentBytes, s.rtxBytes, s.ackedBytes
 }
 
 // Rate returns the controller's current rate in bytes/s.
@@ -92,22 +123,24 @@ func (s *Sender) Run() error {
 	s.mu.Lock()
 	s.pcc.Start(0)
 	s.mu.Unlock()
+	if len(s.payloads) == 0 {
+		// Empty flow: nothing will ever be acknowledged, so complete now
+		// and just announce the zero length.
+		s.once.Do(func() { close(s.doneCh) })
+	}
 
 	go s.ackLoop()
 
-	finBuf := make([]byte, 16)
 	pktBuf := make([]byte, dataHeaderLen+MSS)
 	for {
 		select {
 		case <-s.doneCh:
-			n := encodeFin(finBuf, s.flowID, int64(len(s.payloads)))
-			s.conn.WriteToUDP(finBuf[:n], s.peer)
-			return nil
+			return s.sendFin()
 		default:
 		}
 
 		s.mu.Lock()
-		seq, payload := s.pickNextLocked()
+		seq, payload, isRtx := s.pickNextLocked()
 		var interval time.Duration
 		if payload != nil {
 			now := s.now()
@@ -117,13 +150,18 @@ func (s *Sender) Run() error {
 			}
 			nanos := time.Since(s.start).Nanoseconds()
 			n := encodeData(pktBuf, s.flowID, seq, nanos, payload)
-			s.pcc.OnSend(seq, MSS, now)
+			s.pcc.OnSend(seq, len(payload), now)
+			s.sentAt[seq] = now
 			s.sent++
+			s.sentBytes += int64(len(payload))
+			if isRtx {
+				s.rtxBytes += int64(len(payload))
+			}
 			s.mu.Unlock()
 			if _, err := s.conn.WriteToUDP(pktBuf[:n], s.peer); err != nil {
 				return err
 			}
-			interval = time.Duration(float64(MSS) / rate * 1e9)
+			interval = time.Duration(float64(len(payload)) / rate * 1e9)
 		} else {
 			// Everything sent; wait for stragglers or retransmissions.
 			s.mu.Unlock()
@@ -134,27 +172,61 @@ func (s *Sender) Run() error {
 	}
 }
 
-// pickNextLocked returns the next retransmission or fresh packet.
-func (s *Sender) pickNextLocked() (int64, []byte) {
+// sendFin announces the flow length. The receiver never acknowledges a FIN,
+// so it is repeated on a timer — a couple of smoothed RTTs apart, bounded —
+// until the (unacknowledgeable) odds of every copy vanishing are nil. A
+// write error means the socket closed under us; the flow itself is already
+// fully acknowledged, so that is success, not failure.
+func (s *Sender) sendFin() error {
+	finBuf := make([]byte, 16)
+	n := encodeFin(finBuf, s.flowID, int64(len(s.payloads)))
+	for i := 0; i < finRetries; i++ {
+		if _, err := s.conn.WriteToUDP(finBuf[:n], s.peer); err != nil {
+			return nil
+		}
+		if i == finRetries-1 {
+			break // nothing to wait for after the last copy
+		}
+		s.mu.Lock()
+		gap := 2 * s.pcc.SRTT()
+		s.mu.Unlock()
+		if gap < 0.005 {
+			gap = 0.005
+		}
+		if gap > 0.1 {
+			gap = 0.1
+		}
+		time.Sleep(time.Duration(gap * 1e9))
+	}
+	return nil
+}
+
+// pickNextLocked returns the next retransmission or fresh packet, and
+// whether it is a retransmission.
+func (s *Sender) pickNextLocked() (int64, []byte, bool) {
 	for len(s.rtxQ) > 0 {
 		seq := s.rtxQ[0]
 		s.rtxQ = s.rtxQ[1:]
 		if !s.sacked[seq] && s.lost[seq] {
 			s.lost[seq] = false
 			s.rtx++
-			return seq, s.payloads[seq]
+			return seq, s.payloads[seq], true
 		}
 	}
 	if s.nextSeq < int64(len(s.payloads)) {
 		seq := s.nextSeq
 		s.nextSeq++
-		return seq, s.payloads[seq]
+		return seq, s.payloads[seq], false
 	}
-	return 0, nil
+	return 0, nil, false
 }
 
 // scheduleTailCheck re-marks long-unacknowledged packets as lost when the
-// stream has drained (tail loss).
+// stream has drained (tail loss). Only packets older than an RTO are
+// eligible — fresher ones may simply still be in flight, and re-marking
+// them on every 2 ms idle tick would turn the stream tail into a spurious
+// retransmission storm (each copy re-entering the queue before its
+// predecessor's ACK could possibly return).
 func (s *Sender) scheduleTailCheck() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -162,9 +234,9 @@ func (s *Sender) scheduleTailCheck() {
 	if rto < 0.05 {
 		rto = 0.05
 	}
-	_ = rto
+	now := s.now()
 	for seq := s.cumAck; seq < s.nextSeq; seq++ {
-		if !s.sacked[seq] && !s.lost[seq] {
+		if !s.sacked[seq] && !s.lost[seq] && now-s.sentAt[seq] > rto {
 			s.lost[seq] = true
 			s.rtxQ = append(s.rtxQ, seq)
 		}
@@ -199,6 +271,7 @@ func (s *Sender) onAck(a Ack) {
 			return
 		}
 		s.sacked[seq] = true
+		s.ackedBytes += int64(len(s.payloads[seq]))
 		s.pcc.OnAck(seq, rtt, now)
 	}
 

@@ -23,7 +23,20 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"net"
 )
+
+// UDPConn is the socket surface Sender and Receiver need: the two datagram
+// calls of *net.UDPConn. Tests substitute in-process lossy/reordering
+// wrappers (see lossyconn_test.go) to harden the transport against the
+// pathologies real networks produce — dropped FINs, reordered data,
+// spurious tail timeouts — without leaving the process or the seed.
+type UDPConn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+}
+
+var _ UDPConn = (*net.UDPConn)(nil)
 
 // Packet type bytes.
 const (
