@@ -43,6 +43,12 @@ func NewRTTEstimator() *RTTEstimator {
 	return &RTTEstimator{MinRTT: math.Inf(1)}
 }
 
+// Reset returns the estimator to its no-samples state, as NewRTTEstimator
+// built it.
+func (r *RTTEstimator) Reset() {
+	*r = RTTEstimator{MinRTT: math.Inf(1)}
+}
+
 // Sample folds in one RTT measurement.
 func (r *RTTEstimator) Sample(rtt float64) {
 	if rtt <= 0 {

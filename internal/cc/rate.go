@@ -45,7 +45,11 @@ type RateSender struct {
 	cumAck   int64
 	sackHigh int64
 	lossScan int64
-	rtxQ     []int64
+	// rtxQ[rtxHead:] is the retransmission FIFO, consumed by index so the
+	// backing array's capacity survives (front re-slicing would cost one
+	// allocation per detected loss in steady state; see WindowSender.rtxQ).
+	rtxQ    []int64
+	rtxHead int
 
 	sendTimer    sim.Timer
 	tailTimer    sim.Timer
@@ -76,22 +80,53 @@ type RatePoint struct {
 // NewRateSender wires a rate-based algorithm to a path.
 func NewRateSender(eng *sim.Engine, flow int, algo RateAlgo, sendData func(*netem.Packet)) *RateSender {
 	s := &RateSender{
-		Eng:       eng,
-		Flow:      flow,
-		Algo:      algo,
-		SendData:  sendData,
-		Est:       NewRTTEstimator(),
-		DupThresh: 3,
-		MinRate:   2 * MSS,
-		RTTHint:   0.1,
-		PktSize:   MSS,
-		sackHigh:  -1,
+		Eng:      eng,
+		Flow:     flow,
+		SendData: sendData,
+		Est:      NewRTTEstimator(),
 	}
 	// Bound once: the pacing and tail-loss loops reschedule themselves every
 	// packet, and a method value allocates a closure per use.
 	s.sendLoopFn = s.sendLoop
 	s.onTailFn = s.onTail
+	s.initDefaults(algo)
 	return s
+}
+
+// initDefaults applies the non-zero constructor defaults, shared by
+// NewRateSender and Reset so an arena-reused sender cannot drift from a
+// fresh one when a default changes.
+func (s *RateSender) initDefaults(algo RateAlgo) {
+	s.Algo = algo
+	s.DupThresh = 3
+	s.MinRate = 2 * MSS
+	s.RTTHint = 0.1
+	s.PktSize = MSS
+	s.sackHigh = -1
+}
+
+// Reset returns the sender to its just-constructed state around a new
+// algorithm, for a new trial on a reset engine. The sequence window's entry
+// chunks, the retransmission queue backing, the rate-trace backing and the
+// Eng/Flow/SendData/Pool wiring are all retained, so steady-state reuse
+// allocates nothing; every tunable returns to its constructor default and
+// callers re-apply per-trial knobs exactly as they would on a fresh sender.
+func (s *RateSender) Reset(algo RateAlgo) {
+	s.initDefaults(algo)
+	s.Est.Reset()
+	s.FlowPackets = 0
+	s.OnDone = nil
+	s.win.reset()
+	s.nextSeq, s.cumAck, s.lossScan = 0, 0, 0
+	s.rtxQ, s.rtxHead = s.rtxQ[:0], 0
+	s.sendTimer, s.tailTimer = sim.Timer{}, sim.Timer{}
+	s.tailDeadline = 0
+	s.sentPkts, s.rtxPkts = 0, 0
+	s.rttSum, s.rttCnt = 0, 0
+	s.done, s.started = false, false
+	s.TraceRate = false
+	s.RateTrace = s.RateTrace[:0]
+	s.lastRate = 0
 }
 
 // Start begins transmission.
@@ -127,7 +162,7 @@ func (s *RateSender) rate() float64 {
 }
 
 func (s *RateSender) hasData() bool {
-	if len(s.rtxQ) > 0 {
+	if s.rtxHead < len(s.rtxQ) {
 		return true
 	}
 	return s.FlowPackets == 0 || s.nextSeq < s.FlowPackets
@@ -154,9 +189,12 @@ func (s *RateSender) sendLoop() {
 
 func (s *RateSender) sendOne(now float64) {
 	var st *pktState
-	for len(s.rtxQ) > 0 {
-		seq := s.rtxQ[0]
-		s.rtxQ = s.rtxQ[1:]
+	for s.rtxHead < len(s.rtxQ) {
+		seq := s.rtxQ[s.rtxHead]
+		s.rtxHead++
+		if s.rtxHead == len(s.rtxQ) {
+			s.rtxQ, s.rtxHead = s.rtxQ[:0], 0
+		}
 		cand := s.win.lookup(seq)
 		if cand != nil && cand.lost && !cand.sacked {
 			st = cand

@@ -45,6 +45,23 @@ func NewReceiver(eng *sim.Engine, flow int) *Receiver {
 	return &Receiver{Eng: eng, Flow: flow, firstAt: -1}
 }
 
+// Reset returns the receiver to its just-constructed state for a new trial
+// on a reset engine, retaining grown storage (the out-of-order bitmap and
+// the bucket series backing) and the Eng/Flow/SendAck/Pool wiring. Callers
+// re-apply the per-trial knobs (Bucket, FlowPackets, OnComplete) afterwards,
+// exactly as they would configure a fresh receiver.
+func (r *Receiver) Reset() {
+	r.FlowPackets = 0
+	r.OnComplete = nil
+	r.Bucket = 0
+	r.buckets = r.buckets[:0]
+	r.cumAck = 0
+	r.ooo.reset()
+	r.uniqueBytes, r.uniquePkts, r.totalPkts = 0, 0, 0
+	r.firstAt, r.lastAt = -1, 0
+	r.completed = false
+}
+
 // OnData processes an arriving data packet and emits an ACK.
 func (r *Receiver) OnData(p *netem.Packet) {
 	now := r.Eng.Now()
@@ -126,11 +143,17 @@ func (r *Receiver) Goodput(from, to float64) float64 {
 
 // BucketSeries returns per-bucket goodput in bytes/s. Valid when Bucket > 0.
 func (r *Receiver) BucketSeries() []float64 {
-	out := make([]float64, len(r.buckets))
-	for i, b := range r.buckets {
-		out[i] = b / r.Bucket
+	return r.BucketSeriesInto(nil)
+}
+
+// BucketSeriesInto is BucketSeries appending into dst[:0], reusing its
+// backing array: 0 allocations once dst has the series' capacity.
+func (r *Receiver) BucketSeriesInto(dst []float64) []float64 {
+	dst = dst[:0]
+	for _, b := range r.buckets {
+		dst = append(dst, b/r.Bucket)
 	}
-	return out
+	return dst
 }
 
 // GoodputBetween returns unique-byte goodput measured over bucketed time

@@ -42,6 +42,14 @@ func (s *seqSet) ensure(seq, above int64) {
 	}
 }
 
+// reset clears every resident bit, retaining the window's grown capacity. A
+// wider-than-fresh window is semantically invisible: ensure's
+// strictly-within-one-window invariant holds a fortiori, so membership
+// tests stay alias-free.
+func (s *seqSet) reset() {
+	clear(s.words)
+}
+
 func (s *seqSet) has(seq int64) bool {
 	if s.words == nil {
 		return false

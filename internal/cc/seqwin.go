@@ -84,6 +84,18 @@ func (w *seqWindow) maybeCompact() {
 	}
 }
 
+// reset empties the window for a new flow, recycling every live entry into
+// the free list so the chunk storage is reused (steady-state reset allocates
+// nothing).
+func (w *seqWindow) reset() {
+	for i := w.head; i < len(w.entries); i++ {
+		w.free = append(w.free, w.entries[i])
+	}
+	clear(w.entries)
+	w.entries = w.entries[:0]
+	w.head = 0
+}
+
 // outstanding counts entries not yet SACKed.
 func (w *seqWindow) outstanding() int {
 	n := 0

@@ -55,7 +55,13 @@ type WindowSender struct {
 	sackHigh int64 // highest SACKed sequence
 	lossScan int64 // sequences below this have been examined for SACK loss
 	pipe     int
-	rtxQ     []int64
+	// rtxQ[rtxHead:] is the retransmission FIFO. Consuming by index instead
+	// of re-slicing the front keeps the backing array's capacity: a
+	// front-sliced queue strands its consumed prefix, so in steady state
+	// (queue near-empty, head at the end of the backing) every push
+	// allocates a fresh array — one allocation per detected loss.
+	rtxQ    []int64
+	rtxHead int
 
 	inRecovery bool
 	recover    int64
@@ -79,19 +85,12 @@ type WindowSender struct {
 // NewWindowSender wires a window-based algorithm to a path.
 func NewWindowSender(eng *sim.Engine, flow int, algo WindowAlgo, sendData func(*netem.Packet)) *WindowSender {
 	s := &WindowSender{
-		Eng:        eng,
-		Flow:       flow,
-		Algo:       algo,
-		SendData:   sendData,
-		Est:        NewRTTEstimator(),
-		RTTHint:    0.1,
-		DupThresh:  3,
-		MaxCwnd:    65536,
-		PktSize:    MSS,
-		sackHigh:   -1,
-		lossScan:   0,
-		rtoBackoff: 1,
+		Eng:      eng,
+		Flow:     flow,
+		SendData: sendData,
+		Est:      NewRTTEstimator(),
 	}
+	s.initDefaults(algo)
 	// Bound once: these loops reschedule themselves constantly and a method
 	// value or capturing closure would allocate per use.
 	s.onRTOFn = s.onRTO
@@ -102,6 +101,43 @@ func NewWindowSender(eng *sim.Engine, flow int, algo WindowAlgo, sendData func(*
 		s.schedulePace()
 	}
 	return s
+}
+
+// initDefaults applies the non-zero constructor defaults, shared by
+// NewWindowSender and Reset so an arena-reused sender cannot drift from a
+// fresh one when a default changes.
+func (s *WindowSender) initDefaults(algo WindowAlgo) {
+	s.Algo = algo
+	s.RTTHint = 0.1
+	s.DupThresh = 3
+	s.MaxCwnd = 65536
+	s.PktSize = MSS
+	s.sackHigh = -1
+	s.rtoBackoff = 1
+}
+
+// Reset returns the sender to its just-constructed state around a new
+// algorithm, for a new trial on a reset engine. The sequence window's entry
+// chunks, the retransmission queue backing and the Eng/Flow/SendData/Pool
+// wiring are retained; every tunable returns to its constructor default and
+// callers re-apply per-trial knobs exactly as on a fresh sender.
+func (s *WindowSender) Reset(algo WindowAlgo) {
+	s.initDefaults(algo)
+	s.Est.Reset()
+	s.FlowPackets = 0
+	s.OnDone = nil
+	s.Paced = false
+	s.win.reset()
+	s.nextSeq, s.cumAck, s.lossScan = 0, 0, 0
+	s.pipe = 0
+	s.rtxQ, s.rtxHead = s.rtxQ[:0], 0
+	s.inRecovery = false
+	s.recover = 0
+	s.rtoTimer, s.paceTimer = sim.Timer{}, sim.Timer{}
+	s.rtoDeadline = 0
+	s.sentPkts, s.rtxPkts = 0, 0
+	s.rttSum, s.rttCnt = 0, 0
+	s.done, s.started = false, false
 }
 
 // Start begins transmission.
@@ -139,7 +175,7 @@ func (s *WindowSender) cwnd() float64 {
 }
 
 func (s *WindowSender) hasData() bool {
-	if len(s.rtxQ) > 0 {
+	if s.rtxHead < len(s.rtxQ) {
 		return true
 	}
 	return s.FlowPackets == 0 || s.nextSeq < s.FlowPackets
@@ -180,9 +216,12 @@ func (s *WindowSender) schedulePace() {
 func (s *WindowSender) sendOne() {
 	now := s.Eng.Now()
 	var st *pktState
-	for len(s.rtxQ) > 0 {
-		seq := s.rtxQ[0]
-		s.rtxQ = s.rtxQ[1:]
+	for s.rtxHead < len(s.rtxQ) {
+		seq := s.rtxQ[s.rtxHead]
+		s.rtxHead++
+		if s.rtxHead == len(s.rtxQ) {
+			s.rtxQ, s.rtxHead = s.rtxQ[:0], 0
+		}
 		cand := s.win.lookup(seq)
 		if cand != nil && cand.lost && !cand.sacked {
 			st = cand
@@ -220,7 +259,7 @@ func (s *WindowSender) armRTO() {
 }
 
 func (s *WindowSender) resetRTO() {
-	if s.pipe > 0 || len(s.rtxQ) > 0 {
+	if s.pipe > 0 || s.rtxHead < len(s.rtxQ) {
 		s.rtoDeadline = s.Eng.Now() + s.Est.RTO()*s.rtoBackoff
 	} else {
 		s.rtoTimer.Stop()
@@ -359,7 +398,7 @@ func (s *WindowSender) onRTO() {
 	if s.rtoBackoff > 64 {
 		s.rtoBackoff = 64
 	}
-	s.rtxQ = s.rtxQ[:0]
+	s.rtxQ, s.rtxHead = s.rtxQ[:0], 0
 	for i := s.win.head; i < len(s.win.entries); i++ {
 		st := s.win.entries[i]
 		if !st.sacked {

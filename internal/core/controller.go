@@ -60,6 +60,10 @@ type Controller struct {
 	eps   float64
 
 	roles map[int64]*miRole
+	// roleFree recycles delivered miRole records: the monitor retires MIs at
+	// tens per second for the whole run, and without a free list every MI
+	// costs one allocation here.
+	roleFree []*miRole
 
 	// Starting state bookkeeping.
 	lastStartUtility float64
@@ -91,18 +95,51 @@ type Controller struct {
 // NewController builds a controller starting in the Starting state at
 // cfg.InitialRate.
 func NewController(cfg Config, rng *rand.Rand) *Controller {
-	c := &Controller{
-		cfg:   cfg,
-		rng:   rng,
-		state: StateStarting,
-		rate:  cfg.InitialRate,
-		eps:   cfg.EpsMin,
-		roles: map[int64]*miRole{},
+	c := &Controller{roles: map[int64]*miRole{}}
+	c.init(cfg, rng)
+	return c
+}
+
+// Reset returns the controller to the state NewController(cfg, rng) would
+// build, in place, retaining the role map's buckets and the role free list
+// (undelivered roles from the previous run are recycled into it). rng is
+// the sender's stream, already rewound by the caller.
+func (c *Controller) Reset(cfg Config, rng *rand.Rand) {
+	for id, role := range c.roles {
+		c.roleFree = append(c.roleFree, role)
+		delete(c.roles, id)
+	}
+	c.init(cfg, rng)
+}
+
+// init is the shared (re)initialization behind NewController and Reset; it
+// assumes c.roles exists and is empty.
+func (c *Controller) init(cfg Config, rng *rand.Rand) {
+	roles, free := c.roles, c.roleFree
+	*c = Controller{
+		cfg:      cfg,
+		rng:      rng,
+		state:    StateStarting,
+		rate:     cfg.InitialRate,
+		eps:      cfg.EpsMin,
+		roles:    roles,
+		roleFree: free,
 	}
 	if c.rate <= 0 {
 		c.rate = 2 * 1500 / 0.1 // 2 MSS per 100 ms if no hint given
 	}
-	return c
+}
+
+// newRole returns a blank role record, recycling a delivered one when
+// available.
+func (c *Controller) newRole() *miRole {
+	if n := len(c.roleFree); n > 0 {
+		r := c.roleFree[n-1]
+		c.roleFree = c.roleFree[:n-1]
+		*r = miRole{}
+		return r
+	}
+	return &miRole{}
 }
 
 // State returns the current learning state.
@@ -134,6 +171,8 @@ func (c *Controller) pairCount() int {
 // NextMIRate assigns a rate to the MI with the given id and records its
 // role. Monitor calls this exactly once per MI, in order.
 func (c *Controller) NextMIRate(mi int64) float64 {
+	role := c.newRole()
+	c.roles[mi] = role
 	switch c.state {
 	case StateStarting:
 		// First MI runs at the initial rate; each subsequent MI doubles it.
@@ -141,7 +180,7 @@ func (c *Controller) NextMIRate(mi int64) float64 {
 			c.rate *= 2
 		}
 		c.haveStartRole = true
-		c.roles[mi] = &miRole{kind: roleStarting, rate: c.rate}
+		role.kind, role.rate = roleStarting, c.rate
 		return c.rate
 
 	case StateDecision:
@@ -150,11 +189,11 @@ func (c *Controller) NextMIRate(mi int64) float64 {
 			sign := c.trialSigns[idx]
 			c.trialsLeft--
 			r := c.rate * (1 + float64(sign)*c.eps)
-			c.roles[mi] = &miRole{kind: roleTrial, rate: r, sign: sign, trial: idx, round: c.round}
+			*role = miRole{kind: roleTrial, rate: r, sign: sign, trial: idx, round: c.round}
 			return r
 		}
 		// All trials scheduled: send at the base rate until results arrive.
-		c.roles[mi] = &miRole{kind: roleFiller, rate: c.rate}
+		role.kind, role.rate = roleFiller, c.rate
 		return c.rate
 
 	case StateAdjusting:
@@ -164,10 +203,10 @@ func (c *Controller) NextMIRate(mi int64) float64 {
 		if c.rate < c.cfg.MinRate {
 			c.rate = c.cfg.MinRate
 		}
-		c.roles[mi] = &miRole{kind: roleAdjust, rate: c.rate, step: c.step}
+		*role = miRole{kind: roleAdjust, rate: c.rate, step: c.step}
 		return c.rate
 	}
-	c.roles[mi] = &miRole{kind: roleFiller, rate: c.rate}
+	role.kind, role.rate = roleFiller, c.rate
 	return c.rate
 }
 
@@ -204,6 +243,8 @@ func (c *Controller) DeliverResult(mi int64, stats MIStats) {
 		return
 	}
 	delete(c.roles, mi)
+	// The record is consumed below by value; recycle it for the next MI.
+	c.roleFree = append(c.roleFree, role)
 	u := c.cfg.Utility.Eval(stats)
 
 	switch role.kind {

@@ -80,6 +80,15 @@ func (r *miRing) del(seq int64) {
 	}
 }
 
+// reset empties the ring, retaining its grown slot array (a
+// larger-than-fresh capacity only changes when grow fires, never a lookup
+// result, so reuse is semantically invisible).
+func (r *miRing) reset() {
+	clear(r.slots)
+	r.lo, r.hi = 0, 0
+	r.n = 0
+}
+
 // grow doubles the capacity, re-placing resident entries under the new
 // modulus.
 func (r *miRing) grow() {

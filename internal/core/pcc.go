@@ -45,6 +45,14 @@ type Config struct {
 	PacketSize int
 }
 
+// defaultSafeUtility is the shared instance DefaultConfig and normalize
+// hand out. Utility implementations are pure functions of their stats and
+// nothing mutates a default-constructed SafeUtility, so one instance can
+// serve every flow of every concurrently running trial — saving one
+// allocation per flow per trial on the sweeps' setup path. Callers wanting
+// different knobs build their own (&SafeUtility{...}).
+var defaultSafeUtility = NewSafeUtility()
+
 // DefaultConfig returns the paper's default parameters with the safe
 // utility and an initial rate derived from rttHint (2·MSS/RTT).
 func DefaultConfig(rttHint float64) Config {
@@ -52,7 +60,7 @@ func DefaultConfig(rttHint float64) Config {
 		rttHint = 0.1
 	}
 	return Config{
-		Utility:      NewSafeUtility(),
+		Utility:      defaultSafeUtility,
 		EpsMin:       0.01,
 		EpsMax:       0.05,
 		MIRttLo:      1.7,
@@ -136,10 +144,15 @@ type PCC struct {
 	ctl *Controller
 	rng *rand.Rand
 
-	srtt       float64
-	minRTT     float64
-	cur        *mi
-	pending    []*mi // closed MIs awaiting their finalize deadline
+	srtt   float64
+	minRTT float64
+	cur    *mi
+	// pending[pendHead:] is the deadline-ordered list of closed MIs awaiting
+	// their finalize deadline, consumed by index so the backing array's
+	// capacity survives (front re-slicing would strand the consumed prefix
+	// and cost one allocation per closed MI in steady state).
+	pending    []*mi
+	pendHead   int
 	miFree     []*mi // finalized MIs recycled by openMI (seqs backing kept)
 	bySeq      miRing
 	nextMI     int64
@@ -155,11 +168,11 @@ type PCC struct {
 	MICount             int64
 }
 
-// New builds a PCC sender. rng drives MI-length jitter and RCT ordering; it
-// must not be shared with other components.
-func New(cfg Config, rng *rand.Rand) *PCC {
+// normalize applies New's defaulting rules, shared with Reset so a reused
+// sender starts from exactly the configuration a fresh one would.
+func (cfg Config) normalize() Config {
 	if cfg.Utility == nil {
-		cfg.Utility = NewSafeUtility()
+		cfg.Utility = defaultSafeUtility
 	}
 	if cfg.EpsMin <= 0 {
 		cfg.EpsMin = 0.01
@@ -185,17 +198,58 @@ func New(cfg Config, rng *rand.Rand) *PCC {
 	if cfg.FinalizeRTTs <= 0 {
 		cfg.FinalizeRTTs = 1.5
 	}
+	return cfg
+}
+
+// initialSRTT is the monitor's smoothed-RTT seed: the caller's RTT hint
+// inferred back from InitialRate = 2·pkt/RTT, or 100 ms absent a hint.
+func (cfg Config) initialSRTT() float64 {
+	if cfg.InitialRate > 0 {
+		return 2 * float64(cfg.PacketSize) / cfg.InitialRate
+	}
+	return 0.1
+}
+
+// New builds a PCC sender. rng drives MI-length jitter and RCT ordering; it
+// must not be shared with other components.
+func New(cfg Config, rng *rand.Rand) *PCC {
+	cfg = cfg.normalize()
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
 	p := &PCC{cfg: cfg, rng: rng}
 	p.ctl = NewController(cfg, rng)
-	p.srtt = 0.1
-	if cfg.InitialRate > 0 {
-		// Infer the caller's RTT hint back from InitialRate = 2·pkt/RTT.
-		p.srtt = 2 * float64(cfg.PacketSize) / cfg.InitialRate
-	}
+	p.srtt = cfg.initialSRTT()
 	return p
+}
+
+// Reset returns the sender to the state New(cfg, rand.New(rand.NewSource(
+// seed))) would build, in place: the RNG is rewound to seed, the controller
+// re-enters its Starting state, and the monitor's bookkeeping clears — while
+// the recycled MI records (with their seqs backing), the seq→MI ring's slot
+// array, the controller's role map and role free list are all retained. A
+// reset sender therefore produces bit-identical behaviour to a fresh one at
+// a fraction of the setup allocations (seeding a math/rand generator alone
+// fills a 607-word register).
+func (p *PCC) Reset(cfg Config, seed int64) {
+	cfg = cfg.normalize()
+	p.cfg = cfg
+	p.rng.Seed(seed)
+	p.ctl.Reset(cfg, p.rng)
+	p.srtt = cfg.initialSRTT()
+	p.minRTT = 0
+	if p.cur != nil {
+		p.miFree = append(p.miFree, p.cur)
+		p.cur = nil
+	}
+	p.miFree = append(p.miFree, p.pending[p.pendHead:]...)
+	p.pending, p.pendHead = p.pending[:0], 0
+	p.bySeq.reset()
+	p.nextMI = 0
+	p.prevAvgRTT = 0
+	p.started = false
+	p.now = 0
+	p.TotalSent, p.TotalAcked, p.TotalLostAtFinalize, p.MICount = 0, 0, 0, 0
 }
 
 // Controller exposes the learning state machine (read-only use in tests
@@ -253,13 +307,14 @@ func (p *PCC) closeMI(now float64) {
 		m.end = now // realigned early
 	}
 	m.deadline = m.end + p.cfg.FinalizeRTTs*p.srtt
-	// Insert in deadline order. MIs close in time order but deadlines are
-	// end + FinalizeRTTs·srtt with a moving srtt, so when srtt shrinks
-	// faster than MIs lengthen, a later MI's deadline can precede an
-	// earlier one's — and the finalize loop in advance only examines the
-	// head, so an unexpired head must never hide an expired later entry.
+	// Insert in deadline order within the live region. MIs close in time
+	// order but deadlines are end + FinalizeRTTs·srtt with a moving srtt,
+	// so when srtt shrinks faster than MIs lengthen, a later MI's deadline
+	// can precede an earlier one's — and the finalize loop in advance only
+	// examines the head, so an unexpired head must never hide an expired
+	// later entry.
 	i := len(p.pending)
-	for i > 0 && p.pending[i-1].deadline > m.deadline {
+	for i > p.pendHead && p.pending[i-1].deadline > m.deadline {
 		i--
 	}
 	p.pending = append(p.pending, nil)
@@ -279,9 +334,12 @@ func (p *PCC) advance(now float64) {
 		p.closeMI(now)
 	}
 	// Finalize pending MIs whose straggler deadline passed.
-	for len(p.pending) > 0 && now >= p.pending[0].deadline {
-		m := p.pending[0]
-		p.pending = p.pending[1:]
+	for p.pendHead < len(p.pending) && now >= p.pending[p.pendHead].deadline {
+		m := p.pending[p.pendHead]
+		p.pendHead++
+		if p.pendHead == len(p.pending) {
+			p.pending, p.pendHead = p.pending[:0], 0
+		}
 		p.finalize(m)
 		// finalize leaves no reference behind (bySeq entries are deleted,
 		// the controller gets stats by value), so the record is reusable.

@@ -112,7 +112,7 @@ func TestPendingFinalizeOrderShrinkingSRTT(t *testing.T) {
 	// Advance past MI 1's deadline but far before MI 0's: the expired MI
 	// must finalize even though the older MI is still within its deadline.
 	p.advance(2.0)
-	for _, m := range p.pending {
+	for _, m := range p.pending[p.pendHead:] {
 		if m.id == 1 {
 			t.Fatal("expired MI 1 still pending behind MI 0's later deadline")
 		}
@@ -121,7 +121,7 @@ func TestPendingFinalizeOrderShrinkingSRTT(t *testing.T) {
 		t.Fatalf("TotalLostAtFinalize = %d, want 1 (MI 1's unacked packet)", p.TotalLostAtFinalize)
 	}
 	found0 := false
-	for _, m := range p.pending {
+	for _, m := range p.pending[p.pendHead:] {
 		if m.id == 0 {
 			found0 = true
 		}

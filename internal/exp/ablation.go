@@ -59,10 +59,10 @@ func RunAblation(scale float64, seed int64) *Report {
 		Title:  "design-choice ablations on the Fig. 7 path (100 Mbps, 30 ms)",
 		Header: []string{"variant", "goodput_Mbps", "reversions", "inconclusive"},
 	}
-	rep.Rows = RunPoints(len(variants), func(i int) []string {
+	rep.Rows = RunPointsScratch(len(variants), func(i int, ts *TrialScratch) []string {
 		v := variants[i]
 		cfg := v.cfg()
-		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, Loss: v.loss, BufBytes: 375 * netem.KB, Seed: seed})
+		r := ts.Runner("pcc", PathSpec{RateMbps: 100, RTT: 0.030, Loss: v.loss, BufBytes: 375 * netem.KB, Seed: seed})
 		f := r.AddFlow(FlowSpec{Proto: "pcc", PCCConfig: &cfg, RevLoss: v.loss})
 		r.Run(dur)
 		return []string{

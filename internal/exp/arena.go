@@ -1,0 +1,75 @@
+package exp
+
+// TrialScratch is a per-worker trial arena: a cache of fully built Runners
+// keyed by experiment-variant, so the hundreds of short trials a Monte-Carlo
+// sweep runs (§4's evaluation is sweeps by construction) reuse their
+// engine, topology, flows, PCC/TCP state and packet pool instead of
+// rebuilding them from scratch every trial. RunTrials/RunPoints hand each
+// worker goroutine one scratch for its whole slice of the sweep (see
+// pool.go), so arenas are strictly goroutine-local, like everything else a
+// trial owns.
+//
+// Reuse is placement-policy only. A cache hit re-specs the cached runner in
+// place — engine reset, links/queues re-parameterized, seed chain rewound,
+// flows reset — through code paths that draw the per-trial seed chain at
+// exactly the positions a fresh build would, so a trial's results are
+// bit-identical whether it hit or missed the cache (the determinism suite
+// exercises this directly: different worker counts produce entirely
+// different hit patterns, yet reports must match byte-for-byte).
+//
+// The key identifies an experiment variant within one driver: trials whose
+// network/flow structure matches should share a key (their parameter
+// differences — rates, delays, losses, buffer sizes, flow counts, PCC
+// configs — are all re-specced per trial); structurally different variants
+// (different protocol mix, different link graph) should use distinct keys
+// so alternating trials do not evict each other's warm state. Keys are a
+// performance hint only: structure is verified on every hit, and a
+// mismatch (queue kind, link graph, per-flow sender category or route
+// shape) falls back to a fresh build or per-flow rebuild with identical
+// semantics.
+type TrialScratch struct {
+	runners map[string]*Runner
+	// f64 is a general float64 scratch drivers may use for per-trial series
+	// (SeriesMbpsInto, metrics.SortInto) between runner builds.
+	f64 []float64
+}
+
+// maxArenaRunners bounds the cached simulations per worker. Real drivers
+// use a handful of variant keys; the flush is a backstop so a pathological
+// key choice degrades to fresh builds instead of unbounded retention.
+const maxArenaRunners = 32
+
+// Runner returns a dumbbell runner for the given path: the cached one for
+// key, re-specced in place, or a freshly built one on first use (or when
+// the queue kind changed under the key).
+func (ts *TrialScratch) Runner(key string, p PathSpec) *Runner {
+	k := "d\x00" + p.QueueKind + "\x00" + key
+	if r := ts.runners[k]; r != nil && r.respecDumbbell(p) {
+		return r
+	}
+	r := NewRunner(p)
+	ts.put(k, r)
+	return r
+}
+
+// TopologyRunner is Runner for general multi-link topologies. The cached
+// runner is reused when the spec's link structure (names, endpoints, queue
+// kinds) matches the cached build; parameters are re-specced per trial.
+func (ts *TrialScratch) TopologyRunner(key string, spec TopologySpec) *Runner {
+	k := "t\x00" + key
+	if r := ts.runners[k]; r != nil && r.respecTopology(spec) {
+		return r
+	}
+	r := NewTopologyRunner(spec)
+	ts.put(k, r)
+	return r
+}
+
+func (ts *TrialScratch) put(key string, r *Runner) {
+	if ts.runners == nil {
+		ts.runners = make(map[string]*Runner)
+	} else if len(ts.runners) >= maxArenaRunners {
+		clear(ts.runners)
+	}
+	ts.runners[key] = r
+}

@@ -18,8 +18,9 @@ func TestShapeLossResilience(t *testing.T) {
 	// Fig. 7 core claim: at 1% random loss PCC holds most of capacity
 	// while CUBIC collapses.
 	path := PathSpec{RateMbps: 100, RTT: 0.030, Loss: 0.01, BufBytes: 375 * netem.KB, Seed: 42}
-	pcc := runSingle(path, "pcc", 40, nil)
-	cubic := runSingle(path, "cubic", 40, nil)
+	ts := new(TrialScratch)
+	pcc := runSingle(ts, path, "pcc", 40, nil)
+	cubic := runSingle(ts, path, "cubic", 40, nil)
 	if pcc < 70 {
 		t.Errorf("PCC at 1%% loss = %.1f Mbps, want > 70", pcc)
 	}
@@ -36,8 +37,9 @@ func TestShapeSatellite(t *testing.T) {
 	// Fig. 6 core claim: PCC beats Hybla by a large factor on the
 	// satellite link.
 	path := PathSpec{RateMbps: 42, RTT: 0.8, Loss: 0.0074, BufBytes: 1000 * netem.KB, Seed: 42}
-	pcc := runSingle(path, "pcc", 80, nil)
-	hybla := runSingle(path, "hybla", 80, nil)
+	ts := new(TrialScratch)
+	pcc := runSingle(ts, path, "pcc", 80, nil)
+	hybla := runSingle(ts, path, "hybla", 80, nil)
 	if pcc < 20 {
 		t.Errorf("PCC on satellite = %.1f Mbps, want > 20", pcc)
 	}
@@ -51,8 +53,9 @@ func TestShapeShallowBuffer(t *testing.T) {
 	// Fig. 9 core claim: PCC fills the link with a 6-MSS buffer where
 	// CUBIC cannot.
 	path := PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 9000, Seed: 42}
-	pcc := runSingle(path, "pcc", 30, nil)
-	cubic := runSingle(path, "cubic", 30, nil)
+	ts := new(TrialScratch)
+	pcc := runSingle(ts, path, "pcc", 30, nil)
+	cubic := runSingle(ts, path, "cubic", 30, nil)
 	if pcc < 85 {
 		t.Errorf("PCC with 6-MSS buffer = %.1f Mbps, want > 85", pcc)
 	}
@@ -66,8 +69,9 @@ func TestShapeSmallBufferRateLimiter(t *testing.T) {
 	// Table 1 core claim: on an 800 Mbps reserved path with a small-buffer
 	// limiter, PCC far exceeds Illinois.
 	path := PathSpec{RateMbps: 800, RTT: 0.036, BufBytes: 75 * netem.KB, Seed: 42}
-	pcc := runSingle(path, "pcc", 15, nil)
-	ill := runSingle(path, "illinois", 15, nil)
+	ts := new(TrialScratch)
+	pcc := runSingle(ts, path, "pcc", 15, nil)
+	ill := runSingle(ts, path, "illinois", 15, nil)
 	if pcc < 500 {
 		t.Errorf("PCC inter-DC = %.0f Mbps, want > 500", pcc)
 	}
@@ -119,8 +123,9 @@ func TestShapeIncast(t *testing.T) {
 	t.Parallel()
 	// Fig. 10 core claim: with many synchronized senders PCC's goodput
 	// beats TCP's.
-	pcc := incastGoodput("pcc", 20, 256, 42)
-	tcp := incastGoodput("newreno", 20, 256, 42)
+	ts := new(TrialScratch)
+	pcc := incastGoodput(ts, "pcc", 20, 256, 42)
+	tcp := incastGoodput(ts, "newreno", 20, 256, 42)
 	if pcc < tcp {
 		t.Errorf("incast: PCC %.0f Mbps < TCP %.0f Mbps", pcc, tcp)
 	}

@@ -25,8 +25,8 @@ func RunFig8(scale float64, seed int64) *Report {
 		Header: append([]string{"long_RTT_ms"}, protos...),
 	}
 	shortBDP := int(netem.Mbps(100) * 0.010)
-	ratios := RunPoints(len(longRTTs)*len(protos), func(i int) float64 {
-		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.010, BufBytes: shortBDP, Seed: seed})
+	ratios := RunPointsScratch(len(longRTTs)*len(protos), func(i int, ts *TrialScratch) float64 {
+		r := ts.Runner(protos[i%len(protos)], PathSpec{RateMbps: 100, RTT: 0.010, BufBytes: shortBDP, Seed: seed})
 		long := r.AddFlow(FlowSpec{Proto: protos[i%len(protos)], RTT: longRTTs[i/len(protos)], StartAt: 0, Bucket: 1})
 		short := r.AddFlow(FlowSpec{Proto: protos[i%len(protos)], RTT: 0.010, StartAt: 5, Bucket: 1})
 		r.Run(5 + dur)
@@ -62,9 +62,9 @@ func RunFig12(scale float64, seed int64) *Report {
 		Title:  "convergence of 4 staggered flows (100 Mbps, 30 ms, BDP buffer)",
 		Header: []string{"proto", "phase(n_flows)", "mean_rates_Mbps", "mean_stddev_Mbps", "jain"},
 	}
-	protoRows := RunPoints(len(protos), func(pi int) [][]string {
+	protoRows := RunPointsScratch(len(protos), func(pi int, ts *TrialScratch) [][]string {
 		proto := protos[pi]
-		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
+		r := ts.Runner(proto, PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
 		flows := make([]*Flow, 4)
 		for i := range flows {
 			flows[i] = r.AddFlow(FlowSpec{Proto: proto, StartAt: float64(i) * stagger, Bucket: 1})
@@ -114,10 +114,10 @@ func RunFig13(scale float64, seed int64) *Report {
 		Header: append([]string{"proto", "flows"}, intHeaders(timescales, "s")...),
 	}
 	flowCounts := []int{2, 3, 4}
-	rows := RunPoints(len(protos)*len(flowCounts), func(i int) []string {
+	rows := RunPointsScratch(len(protos)*len(flowCounts), func(i int, ts *TrialScratch) []string {
 		proto := protos[i/len(flowCounts)]
 		nf := flowCounts[i%len(flowCounts)]
-		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
+		r := ts.Runner(proto, PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
 		flows := make([]*Flow, nf)
 		for i := range flows {
 			flows[i] = r.AddFlow(FlowSpec{Proto: proto, StartAt: 0, Bucket: 1})

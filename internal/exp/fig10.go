@@ -44,9 +44,9 @@ func RunFig10(scale float64, seed int64) *Report {
 			}
 		}
 	}
-	goodputs := RunPoints(len(jobs), func(i int) float64 {
+	goodputs := RunPointsScratch(len(jobs), func(i int, ts *TrialScratch) float64 {
 		j := jobs[i]
-		return incastGoodput(j.proto, j.n, j.sizeKB, seed+int64(j.trial)*131)
+		return incastGoodput(ts, j.proto, j.n, j.sizeKB, seed+int64(j.trial)*131)
 	})
 	var ratios []string
 	ji := 0
@@ -81,8 +81,8 @@ func RunFig10(scale float64, seed int64) *Report {
 
 // incastGoodput runs one incast trial and returns aggregate goodput in
 // Mbps (total unique bytes / time to last completion).
-func incastGoodput(proto string, senders, sizeKB int, seed int64) float64 {
-	r := NewRunner(PathSpec{RateMbps: 1000, RTT: 0.001, BufBytes: 64 * netem.KB, Seed: seed})
+func incastGoodput(ts *TrialScratch, proto string, senders, sizeKB int, seed int64) float64 {
+	r := ts.Runner(proto, PathSpec{RateMbps: 1000, RTT: 0.001, BufBytes: 64 * netem.KB, Seed: seed})
 	flows := make([]*Flow, senders)
 	for i := range flows {
 		flows[i] = r.AddFlow(FlowSpec{Proto: proto, FlowKB: sizeKB, StartAt: 0})

@@ -35,11 +35,11 @@ func RunFig11(scale float64, seed int64) (*Report, *Fig11Series) {
 		achieved []float64
 		trace    []netem.Sample
 	}
-	trialOut := RunPoints(len(protos), func(pi int) fig11Trial {
+	trialOut := RunPointsScratch(len(protos), func(pi int, ts *TrialScratch) fig11Trial {
 		proto := protos[pi]
 		// Same seed → identical sequence of drawn network conditions for
 		// every protocol.
-		r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 150 * netem.KB, Seed: seed})
+		r := ts.Runner(proto, PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 150 * netem.KB, Seed: seed})
 		f := r.AddFlow(FlowSpec{Proto: proto, Bucket: 1, TraceRate: proto == "pcc"})
 		// Derive the variation stream from the experiment seed alone so
 		// every protocol faces the identical sequence of conditions.

@@ -31,14 +31,14 @@ func RunFig14(scale float64, seed int64) *Report {
 	}
 	// Two trials per (network, count) cell: rivals are n PCC flows, or n
 	// bundles of 10 parallel TCP flows.
-	tputs := RunPoints(len(nets)*len(counts)*2, func(i int) float64 {
+	tputs := RunPointsScratch(len(nets)*len(counts)*2, func(i int, ts *TrialScratch) float64 {
 		nw := nets[i/(len(counts)*2)]
 		n := counts[(i/2)%len(counts)]
 		buf := int(netem.Mbps(nw.RateMbps) * nw.RTT)
 		if i%2 == 0 {
-			return normalTCPThroughput(nw.RateMbps, nw.RTT, buf, n, "pcc", 1, dur, seed)
+			return normalTCPThroughput(ts, nw.RateMbps, nw.RTT, buf, n, "pcc", 1, dur, seed)
 		}
-		return normalTCPThroughput(nw.RateMbps, nw.RTT, buf, n, "newreno", 10, dur, seed)
+		return normalTCPThroughput(ts, nw.RateMbps, nw.RTT, buf, n, "newreno", 10, dur, seed)
 	})
 	for ni, nw := range nets {
 		row := []string{fmt.Sprintf("%.0fMbps,%.0fms", nw.RateMbps, nw.RTT*1e3)}
@@ -60,9 +60,11 @@ func RunFig14(scale float64, seed int64) *Report {
 
 // normalTCPThroughput measures one normal New Reno flow's goodput (Mbps)
 // when sharing the path with n selfish flows, each made of `width`
-// connections of the given protocol.
-func normalTCPThroughput(rateMbps, rtt float64, buf, n int, proto string, width int, dur float64, seed int64) float64 {
-	r := NewRunner(PathSpec{RateMbps: rateMbps, RTT: rtt, BufBytes: buf, Seed: seed})
+// connections of the given protocol. The arena is keyed by the rival
+// protocol: flow counts vary per trial, but the flow pool reuses whatever
+// prefix matches.
+func normalTCPThroughput(ts *TrialScratch, rateMbps, rtt float64, buf, n int, proto string, width int, dur float64, seed int64) float64 {
+	r := ts.Runner(proto, PathSpec{RateMbps: rateMbps, RTT: rtt, BufBytes: buf, Seed: seed})
 	normal := r.AddFlow(FlowSpec{Proto: "newreno"})
 	for i := 0; i < n*width; i++ {
 		r.AddFlow(FlowSpec{Proto: proto})

@@ -25,9 +25,10 @@ func RunFig15(scale float64, seed int64) *Report {
 		Title:  "short-flow FCT (100 KB flows, 15 Mbps, 60 ms): Poisson arrivals at varying load",
 		Header: []string{"load", "proto", "flows", "median_ms", "mean_ms", "p95_ms"},
 	}
-	allFCTs := RunPoints(len(loads)*len(protos), func(i int) []float64 {
-		return shortFlowFCTs(protos[i%len(protos)], loads[i/len(protos)], flowKB, dur, seed)
+	allFCTs := RunPointsScratch(len(loads)*len(protos), func(i int, ts *TrialScratch) []float64 {
+		return shortFlowFCTs(ts, protos[i%len(protos)], loads[i/len(protos)], flowKB, dur, seed)
 	})
+	var sorted []float64 // one sort per cell serves median and p95
 	for li, load := range loads {
 		for pi, proto := range protos {
 			fcts := allFCTs[li*len(protos)+pi]
@@ -35,11 +36,12 @@ func RunFig15(scale float64, seed int64) *Report {
 				rep.Rows = append(rep.Rows, []string{f2(load), proto, "0", "-", "-", "-"})
 				continue
 			}
+			sorted = metrics.SortInto(sorted, fcts)
 			rep.Rows = append(rep.Rows, []string{
 				f2(load), proto, fmt.Sprintf("%d", len(fcts)),
-				f1(metrics.Median(fcts) * 1e3),
+				f1(metrics.PercentileSorted(sorted, 50) * 1e3),
 				f1(metrics.Mean(fcts) * 1e3),
-				f1(metrics.Percentile(fcts, 95) * 1e3),
+				f1(metrics.PercentileSorted(sorted, 95) * 1e3),
 			})
 		}
 	}
@@ -49,11 +51,11 @@ func RunFig15(scale float64, seed int64) *Report {
 
 // shortFlowFCTs runs the Poisson short-flow workload and returns the
 // completion times (seconds) of all flows that finished.
-func shortFlowFCTs(proto string, load float64, flowKB int, dur float64, seed int64) []float64 {
+func shortFlowFCTs(ts *TrialScratch, proto string, load float64, flowKB int, dur float64, seed int64) []float64 {
 	capacity := netem.Mbps(15)
 	arrivalRate := load * capacity / float64(flowKB*1000) // flows per second
-	r := NewRunner(PathSpec{RateMbps: 15, RTT: 0.060, BufBytes: 120 * netem.KB, Seed: seed})
-	rng := r.Seeds.NextRand()
+	r := ts.Runner(proto, PathSpec{RateMbps: 15, RTT: 0.060, BufBytes: 120 * netem.KB, Seed: seed})
+	rng := r.NextRand()
 
 	var fcts []float64
 	workload.PoissonArrivals(r.Eng, rng, arrivalRate, dur, func(i int) {

@@ -59,9 +59,9 @@ func RunFig16(scale float64, seed int64) *Report {
 		Header: []string{"config", "convergence_s", "stddev_Mbps"},
 	}
 	type trialResult struct{ conv, std float64 }
-	results := RunPoints(len(cfgs)*trials, func(i int) trialResult {
+	results := RunPointsScratch(len(cfgs)*trials, func(i int, ts *TrialScratch) trialResult {
 		c := cfgs[i/trials]
-		conv, std := tradeoffTrial(c.proto, c.pcc, seed+int64(i%trials)*977)
+		conv, std := tradeoffTrial(ts, c.proto, c.pcc, seed+int64(i%trials)*977)
 		return trialResult{conv: conv, std: std}
 	})
 	for ci, c := range cfgs {
@@ -98,14 +98,15 @@ func pccTradeoffConfig(tmRTT, eps float64, noRCT bool) core.Config {
 // tradeoffTrial runs one A/B contention trial, returning flow B's
 // convergence time (seconds since its start; -1 if it never converges) and
 // post-convergence std-dev (Mbps).
-func tradeoffTrial(proto string, pcfg *core.Config, seed int64) (float64, float64) {
+func tradeoffTrial(ts *TrialScratch, proto string, pcfg *core.Config, seed int64) (float64, float64) {
 	const joinAt = 20.0
-	r := NewRunner(PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
+	r := ts.Runner(proto, PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: 375 * netem.KB, Seed: seed})
 	r.AddFlow(FlowSpec{Proto: proto, PCCConfig: pcfg, StartAt: 0, Bucket: 1})
 	b := r.AddFlow(FlowSpec{Proto: proto, PCCConfig: pcfg, StartAt: joinAt, Bucket: 1})
 	r.Run(joinAt + 160)
 
-	series := b.SeriesMbps()
+	ts.f64 = b.SeriesMbpsInto(ts.f64)
+	series := ts.f64
 	// Re-index so second 0 is flow B's start.
 	off := int(joinAt)
 	if off >= len(series) {

@@ -36,11 +36,11 @@ func RunFig17(scale float64, seed int64) *Report {
 		Header: []string{"combination", "tput_Mbps", "mean_RTT_ms", "power"},
 	}
 	type cellResult struct{ tput, rtt float64 }
-	cellOut := RunPoints(len(cells), func(i int) cellResult {
+	cellOut := RunPointsScratch(len(cells), func(i int, ts *TrialScratch) cellResult {
 		c := cells[i]
 		// Bufferbloat = very deep per-flow FIFO (2 MB); CoDel children get
 		// the same physical cap but drain the standing queue.
-		r := NewRunner(PathSpec{RateMbps: 40, RTT: 0.020, BufBytes: 2000 * netem.KB, QueueKind: c.queue, Seed: seed})
+		r := ts.Runner(c.label, PathSpec{RateMbps: 40, RTT: 0.020, BufBytes: 2000 * netem.KB, QueueKind: c.queue, Seed: seed})
 		f1s := r.AddFlow(flowForPower(c.proto))
 		f2s := r.AddFlow(flowForPower(c.proto))
 		r.Run(dur)

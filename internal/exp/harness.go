@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 
 	"pcc/internal/baseline"
 	"pcc/internal/cc"
@@ -113,12 +114,26 @@ type Flow struct {
 	RS     *cc.RateSender
 	PCC    *core.PCC
 	DoneAt float64 // completion time for finite flows; -1 while running
+
+	// Closures cached at first construction so arena-reused flows schedule
+	// and deliver through the same function values trial after trial instead
+	// of allocating fresh method values per AddFlow.
+	dataSink func(*netem.Packet)
+	ackSink  func(*netem.Packet)
+	startFn  func()
+	onDone   func(now float64)
 }
 
 // Runner assembles and runs one simulation — a dumbbell (NewRunner) or a
 // general multi-link topology (NewTopologyRunner). A Runner (like its
 // Engine) is single-threaded; parallel experiments give every trial its own
 // Runner (see pool.go), which also keeps the packet free list goroutine-local.
+//
+// Runners built through a TrialScratch arena are additionally *reused*
+// across trials: respec methods rewind the engine, links, queues and flows
+// in place so steady-state trials pay almost no setup allocations, with
+// results bit-identical to a fresh build (the respec paths draw the seed
+// chain at exactly the positions the constructors do).
 type Runner struct {
 	Eng   *sim.Engine
 	Seeds *sim.Seeds
@@ -131,6 +146,23 @@ type Runner struct {
 	Flows []*Flow
 	// PktPool recycles packets across all flows of this runner.
 	PktPool *netem.PacketPool
+
+	// flowPool holds every Flow ever created on this runner, by id, so a
+	// re-specced trial reuses flow k's receiver, sender window storage and
+	// PCC state instead of rebuilding them.
+	flowPool []*Flow
+	// sendData/sendAck are the topology injection method values, bound once.
+	sendData func(*netem.Packet)
+	sendAck  func(*netem.Packet)
+	// reclaim recycles in-flight packets back into PktPool when the engine
+	// is reset between trials.
+	reclaim func(arg any)
+	// linkShape remembers the TopologySpec link structure this runner was
+	// built from (topology runners only), for respec shape verification.
+	linkShape []LinkSpec
+	// rands recycles driver-requested RNG streams (NextRand) across trials.
+	rands   []*rand.Rand
+	randIdx int
 }
 
 // makeQueue builds the AQM a Path/LinkSpec asks for.
@@ -149,6 +181,48 @@ func makeQueue(kind string, bufBytes int) netem.Queue {
 	}
 }
 
+// resetQueue re-specs a queue built by makeQueue(kind, ...) in place for a
+// new trial, draining queued packets into pool. It reports false when q was
+// not built by that kind (the runner must then be rebuilt).
+func resetQueue(q netem.Queue, kind string, bufBytes int, pool *netem.PacketPool) bool {
+	switch kind {
+	case "", "droptail":
+		dt, ok := q.(*netem.DropTail)
+		if !ok {
+			return false
+		}
+		dt.Reset(bufBytes, pool)
+	case "codel":
+		cd, ok := q.(*netem.CoDel)
+		if !ok {
+			return false
+		}
+		cd.Reset(bufBytes)
+	case "fq":
+		fq, ok := q.(*netem.FQ)
+		if !ok || fq.NewChild != nil {
+			return false
+		}
+		fq.Reset(bufBytes)
+	case "fqcodel":
+		fq, ok := q.(*netem.FQ)
+		if !ok || fq.NewChild == nil {
+			return false
+		}
+		// The child constructor captured the build-time capacity; refresh it
+		// only when the capacity actually changed, so same-capacity warm
+		// trials stay closure-allocation-free.
+		refresh := fq.PerFlowBytes != bufBytes
+		fq.Reset(bufBytes)
+		if refresh {
+			fq.NewChild = func() netem.Queue { return netem.NewCoDel(bufBytes) }
+		}
+	default:
+		return false
+	}
+	return true
+}
+
 // NewRunner builds the dumbbell for the given path.
 func NewRunner(p PathSpec) *Runner {
 	eng := sim.NewEngine()
@@ -156,7 +230,9 @@ func NewRunner(p PathSpec) *Runner {
 	net := netem.NewDumbbell(eng, makeQueue(p.QueueKind, p.BufBytes), netem.Mbps(p.RateMbps), p.Loss, seeds)
 	pool := &netem.PacketPool{}
 	net.UsePool(pool)
-	return &Runner{Eng: eng, Seeds: seeds, Net: net, Topo: net.Topo, Path: p, PktPool: pool}
+	r := &Runner{Eng: eng, Seeds: seeds, Net: net, Topo: net.Topo, Path: p, PktPool: pool}
+	r.bindSinks()
+	return r
 }
 
 // NewTopologyRunner builds a runner over a general network graph. Flows
@@ -171,7 +247,93 @@ func NewTopologyRunner(ts TopologySpec) *Runner {
 		topo.AddLink(ls.Name, ls.From, ls.To, makeQueue(ls.QueueKind, ls.BufBytes),
 			netem.Mbps(ls.RateMbps), ls.Delay, ls.Loss, seeds.NextRand())
 	}
-	return &Runner{Eng: eng, Seeds: seeds, Topo: topo, Path: PathSpec{Seed: ts.Seed}, PktPool: pool}
+	r := &Runner{Eng: eng, Seeds: seeds, Topo: topo, Path: PathSpec{Seed: ts.Seed}, PktPool: pool}
+	r.linkShape = append(r.linkShape, ts.Links...)
+	r.bindSinks()
+	return r
+}
+
+// bindSinks caches the per-runner function values every flow shares.
+func (r *Runner) bindSinks() {
+	r.sendData = r.Topo.SendData
+	r.sendAck = r.Topo.SendAck
+	pool := r.PktPool
+	r.reclaim = func(arg any) {
+		if p, ok := arg.(*netem.Packet); ok {
+			pool.Put(p)
+		}
+	}
+}
+
+// respecDumbbell rewinds a cached dumbbell runner for a new trial: engine
+// reset (in-flight packets recycled), seed chain rewound to the new root,
+// bottleneck queue and link re-specced in place. It reports false when the
+// queue kind changed, in which case the caller builds a fresh runner.
+// Previously added flows stay parked in flowPool for AddFlow to reuse.
+func (r *Runner) respecDumbbell(p PathSpec) bool {
+	if r.Net == nil {
+		return false
+	}
+	q := r.Net.Bottleneck.Queue
+	r.Eng.Reset(r.reclaim)
+	r.Seeds.Reset(p.Seed)
+	if !resetQueue(q, p.QueueKind, p.BufBytes, r.PktPool) {
+		return false
+	}
+	// The same chain position NewDumbbell's AddLink drew its loss rng from.
+	r.Net.Bottleneck.Reset(netem.Mbps(p.RateMbps), 0, p.Loss, r.Seeds.Next())
+	r.Path = p
+	r.Flows = r.Flows[:0]
+	r.randIdx = 0
+	return true
+}
+
+// respecTopology rewinds a cached topology runner for a new trial. It
+// reports false when the link structure (names, endpoints, queue kinds)
+// differs from the cached build.
+func (r *Runner) respecTopology(ts TopologySpec) bool {
+	if r.Net != nil || len(r.linkShape) != len(ts.Links) {
+		return false
+	}
+	for i, ls := range ts.Links {
+		prev := r.linkShape[i]
+		if prev.Name != ls.Name || prev.From != ls.From || prev.To != ls.To || prev.QueueKind != ls.QueueKind {
+			return false
+		}
+	}
+	r.Eng.Reset(r.reclaim)
+	r.Seeds.Reset(ts.Seed)
+	for _, ls := range ts.Links {
+		l := r.Topo.LinkByName(ls.Name)
+		if !resetQueue(l.Queue, ls.QueueKind, ls.BufBytes, r.PktPool) {
+			return false
+		}
+		// Per-link seed draws in AddLink order, as the constructor made them.
+		l.Reset(netem.Mbps(ls.RateMbps), ls.Delay, ls.Loss, r.Seeds.Next())
+	}
+	r.Path = PathSpec{Seed: ts.Seed}
+	r.Flows = r.Flows[:0]
+	r.randIdx = 0
+	return true
+}
+
+// NextRand returns a generator seeded from the runner's derivation chain —
+// the exact stream r.Seeds.NextRand() yields — while recycling generator
+// storage across trials on an arena-cached runner: the k-th call of each
+// trial re-seeds the k-th cached generator in place (a math/rand seed fill
+// is 607 words, by far the dominant cost of a fresh generator).
+func (r *Runner) NextRand() *rand.Rand {
+	seed := r.Seeds.Next()
+	if r.randIdx < len(r.rands) {
+		rr := r.rands[r.randIdx]
+		r.randIdx++
+		rr.Seed(seed)
+		return rr
+	}
+	rr := rand.New(rand.NewSource(seed))
+	r.rands = append(r.rands, rr)
+	r.randIdx = len(r.rands)
+	return rr
 }
 
 // Capacity returns the dumbbell bottleneck capacity in bytes/s. On a
@@ -227,6 +389,13 @@ func (r *Runner) routeRTT(fwd, rev []netem.HopSpec) float64 {
 // flow's path is the shared bottleneck with RTT/RevLoss access segments.
 // AddFlow may be called while the simulation is running (cross-traffic
 // generators) provided StartAt is not in the past.
+//
+// On an arena-reused runner, AddFlow recycles the flow previously holding
+// this id: the receiver and (when the sender category matches) the sender
+// are reset in place, the network routes are re-specced, and PCC state —
+// including its RNG register, MI records and seq→MI ring — is rewound
+// rather than rebuilt. Every path draws the runner's seed chain at the same
+// positions a fresh build would, so results are bit-identical.
 func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	id := len(r.Flows)
 	topoFlow := len(spec.FwdRoute) > 0
@@ -255,28 +424,38 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	if pktSize <= 0 {
 		pktSize = cc.MSS
 	}
-	f := &Flow{ID: id, Spec: spec, DoneAt: -1}
+
+	// Acquire the flow handle: recycled from a previous trial on this
+	// runner, or fresh. The receiver is protocol-agnostic and always reused.
+	var f *Flow
+	if id < len(r.flowPool) {
+		f = r.flowPool[id]
+		f.Spec = spec
+		f.DoneAt = -1
+		f.Recv.Reset()
+	} else {
+		f = &Flow{ID: id, Spec: spec, DoneAt: -1}
+		f.Recv = cc.NewReceiver(r.Eng, id)
+		f.Recv.Pool = r.PktPool
+		f.Recv.SendAck = r.sendAck
+		f.dataSink = f.Recv.OnData
+		f.onDone = func(now float64) { f.DoneAt = now }
+		f.startFn = func() {
+			if f.RS != nil {
+				f.RS.Start()
+			} else {
+				f.WS.Start()
+			}
+		}
+		r.flowPool = append(r.flowPool, f)
+	}
 	r.Flows = append(r.Flows, f)
-	f.Recv = cc.NewReceiver(r.Eng, id)
-	f.Recv.Pool = r.PktPool
-	f.Recv.SendAck = r.Topo.SendAck
 	f.Recv.Bucket = spec.Bucket
 	var flowPkts int64
 	if spec.FlowKB > 0 {
 		flowPkts = int64((spec.FlowKB*1000 + pktSize - 1) / pktSize)
-		f.Recv.FlowPackets = flowPkts
 	}
-
-	cfg := netem.FlowConfig{FwdDelay: rtt / 2, RevDelay: rtt / 2, RevLoss: spec.RevLoss}
-	// addPath registers the flow's route(s) with the network; it draws one
-	// RNG stream from r.Seeds either way.
-	addPath := func(dataSink, ackSink func(*netem.Packet)) {
-		if topoFlow {
-			r.Topo.AddFlow(id, spec.FwdRoute, spec.RevRoute, r.Seeds, dataSink, ackSink)
-		} else {
-			r.Net.AddFlow(id, cfg, r.Seeds, dataSink, ackSink)
-		}
-	}
+	f.Recv.FlowPackets = flowPkts
 
 	switch spec.Proto {
 	case "pcc":
@@ -303,9 +482,15 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 				pcfg.MinRate = 2 * float64(pktSize)
 			}
 		}
-		algo := core.New(pcfg, r.Seeds.NextRand())
-		f.PCC = algo
-		f.RS = cc.NewRateSender(r.Eng, id, algo, r.Topo.SendData)
+		// One seed draw, at the position the fresh path's NextRand makes it.
+		algoSeed := r.Seeds.Next()
+		if f.PCC != nil && f.RS != nil {
+			f.PCC.Reset(pcfg, algoSeed)
+			f.RS.Reset(f.PCC)
+		} else {
+			f.PCC = core.New(pcfg, rand.New(rand.NewSource(algoSeed)))
+			r.setRateSender(f, f.PCC)
+		}
 	case "sabul":
 		hint := spec.CapacityHint
 		if hint <= 0 {
@@ -314,11 +499,13 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		if hint <= 0 {
 			panic("exp: sabul on a link-less route needs CapacityHint")
 		}
-		f.RS = cc.NewRateSender(r.Eng, id, baseline.NewSabul(hint), r.Topo.SendData)
+		f.PCC = nil
+		r.setRateSender(f, baseline.NewSabul(hint))
 	case "pcp":
-		f.RS = cc.NewRateSender(r.Eng, id, baseline.NewPCP(0), r.Topo.SendData)
+		f.PCC = nil
+		r.setRateSender(f, baseline.NewPCP(0))
 	case "pacing":
-		f.WS = cc.NewWindowSender(r.Eng, id, tcp.NewReno(), r.Topo.SendData)
+		r.setWindowSender(f, tcp.NewReno())
 		f.WS.Paced = true
 		f.WS.RTTHint = rtt
 	default:
@@ -326,7 +513,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		if err != nil {
 			panic(err)
 		}
-		f.WS = cc.NewWindowSender(r.Eng, id, algo, r.Topo.SendData)
+		r.setWindowSender(f, algo)
 		f.WS.RTTHint = rtt
 	}
 	if f.WS != nil && capacity > 0 {
@@ -337,6 +524,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		f.WS.MaxCwnd = 8*bdpPkts + 1000
 	}
 
+	cfg := netem.FlowConfig{FwdDelay: rtt / 2, RevDelay: rtt / 2, RevLoss: spec.RevLoss}
 	if f.RS != nil {
 		f.RS.Pool = r.PktPool
 		f.RS.PktSize = pktSize
@@ -347,29 +535,64 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		f.RS.FlowPackets = flowPkts
 		f.RS.RTTHint = rtt
 		f.RS.TraceRate = spec.TraceRate
-		f.RS.OnDone = func(now float64) { f.DoneAt = now }
-		addPath(f.Recv.OnData, f.RS.OnAck)
-		r.Eng.At(spec.StartAt, f.RS.Start)
+		f.RS.OnDone = f.onDone
 	} else {
 		f.WS.Pool = r.PktPool
 		f.WS.PktSize = pktSize
 		f.WS.FlowPackets = flowPkts
-		f.WS.OnDone = func(now float64) { f.DoneAt = now }
-		addPath(f.Recv.OnData, f.WS.OnAck)
-		r.Eng.At(spec.StartAt, f.WS.Start)
+		f.WS.OnDone = f.onDone
 	}
+	// Register the flow's route(s) with the network; one RNG stream is
+	// drawn from r.Seeds either way, fresh build or respec.
+	if topoFlow {
+		r.Topo.RespecFlow(id, spec.FwdRoute, spec.RevRoute, r.Seeds, f.dataSink, f.ackSink)
+	} else {
+		r.Net.RespecFlow(id, cfg, r.Seeds, f.dataSink, f.ackSink)
+	}
+	r.Eng.At(spec.StartAt, f.startFn)
 	return f
+}
+
+// setRateSender installs a rate-based sender for the flow: the previous
+// RateSender is reset in place when one exists, else a fresh one replaces
+// whatever sender category the flow had before.
+func (r *Runner) setRateSender(f *Flow, algo cc.RateAlgo) {
+	if f.RS != nil {
+		f.RS.Reset(algo)
+		return
+	}
+	f.WS = nil
+	f.RS = cc.NewRateSender(r.Eng, f.ID, algo, r.sendData)
+	f.ackSink = f.RS.OnAck
+}
+
+// setWindowSender is setRateSender's window-based counterpart.
+func (r *Runner) setWindowSender(f *Flow, algo cc.WindowAlgo) {
+	f.PCC = nil
+	if f.WS != nil {
+		f.WS.Reset(algo)
+		return
+	}
+	f.RS = nil
+	f.WS = cc.NewWindowSender(r.Eng, f.ID, algo, r.sendData)
+	f.ackSink = f.WS.OnAck
 }
 
 // LinkStatsNotes renders the runner's per-link accounting as report notes
 // (AddLink order, so output is deterministic).
 func (r *Runner) LinkStatsNotes() []string {
-	var out []string
+	return r.LinkStatsNotesInto(nil)
+}
+
+// LinkStatsNotesInto is LinkStatsNotes appending into dst[:0], reusing its
+// backing array (the note strings themselves still allocate).
+func (r *Runner) LinkStatsNotesInto(dst []string) []string {
+	dst = dst[:0]
 	for _, s := range r.Topo.Stats() {
-		out = append(out, fmt.Sprintf("link %s: delivered=%d wire_lost=%d queue_dropped=%d",
+		dst = append(dst, fmt.Sprintf("link %s: delivered=%d wire_lost=%d queue_dropped=%d",
 			s.Name, s.Delivered, s.WireLost, s.QueueDropped))
 	}
-	return out
+	return dst
 }
 
 // Run advances the simulation to the given time (seconds).
@@ -388,12 +611,17 @@ func (f *Flow) GoodputMbps(until float64) float64 {
 // SeriesMbps returns the flow's per-bucket goodput in Mbps (requires
 // Spec.Bucket > 0).
 func (f *Flow) SeriesMbps() []float64 {
-	s := f.Recv.BucketSeries()
-	out := make([]float64, len(s))
-	for i, v := range s {
-		out[i] = netem.ToMbps(v)
+	return f.SeriesMbpsInto(nil)
+}
+
+// SeriesMbpsInto is SeriesMbps appending into dst[:0], reusing its backing
+// array: 0 allocations once dst has the series' capacity.
+func (f *Flow) SeriesMbpsInto(dst []float64) []float64 {
+	dst = f.Recv.BucketSeriesInto(dst)
+	for i, v := range dst {
+		dst[i] = netem.ToMbps(v)
 	}
-	return out
+	return dst
 }
 
 // WindowMbps returns goodput in Mbps over [from, to] using the bucket

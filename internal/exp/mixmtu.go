@@ -33,9 +33,9 @@ func RunMixMTU(scale float64, seed int64) *Report {
 		row   []string
 		notes []string
 	}
-	results := RunPoints(len(protos), func(i int) mmResult {
+	results := RunPointsScratch(len(protos), func(i int, ts *TrialScratch) mmResult {
 		proto := protos[i]
-		r, flows := mixMTUTrial(proto, dur, TrialSeed(seed, i))
+		r, flows := mixMTUTrial(ts, proto, dur, TrialSeed(seed, i))
 		tput := make([]float64, len(flows))
 		for j, f := range flows {
 			tput[j] = f.WindowMbps(0.2*dur, dur)
@@ -70,12 +70,12 @@ func RunMixMTU(scale float64, seed int64) *Report {
 // mixMTUTrial builds and runs one mixed-MTU simulation over a two-hop path
 // (100 Mbps feeder into a 50 Mbps bottleneck) and returns the runner plus
 // the four long-lived flows [jumbo, standard, small1, small2].
-func mixMTUTrial(proto string, dur float64, seed int64) (*Runner, []*Flow) {
+func mixMTUTrial(ts *TrialScratch, proto string, dur float64, seed int64) (*Runner, []*Flow) {
 	const (
 		linkDel = 0.005 // per-hop propagation, seconds
 		accessD = 0.002 // per-flow access delay, seconds
 	)
-	r := NewTopologyRunner(TopologySpec{
+	r := ts.TopologyRunner(proto, TopologySpec{
 		Seed: seed,
 		Links: []LinkSpec{
 			{Name: "feed", From: "A", To: "M", RateMbps: 100, Delay: linkDel, BufBytes: 250 * netem.KB},
@@ -98,8 +98,8 @@ func mixMTUTrial(proto string, dur float64, seed int64) (*Runner, []*Flow) {
 	// Poisson 512-byte mice across both hops: short interactive transfers
 	// (bounded-Pareto sizes) riding the same path, so the queues see a
 	// constant churn of sub-MSS packets between the long flows' frames.
-	arrRNG := r.Seeds.NextRand()
-	sizeRNG := r.Seeds.NextRand()
+	arrRNG := r.NextRand()
+	sizeRNG := r.NextRand()
 	workload.PoissonArrivals(r.Eng, arrRNG, 4, dur, func(int) {
 		r.AddFlow(FlowSpec{
 			Proto:      "newreno",

@@ -33,10 +33,10 @@ func RunParkingLot(scale float64, seed int64) *Report {
 		row   []string
 		notes []string
 	}
-	results := RunPoints(len(hopCounts)*len(protos), func(i int) plResult {
+	results := RunPointsScratch(len(hopCounts)*len(protos), func(i int, ts *TrialScratch) plResult {
 		nHops := hopCounts[i/len(protos)]
 		proto := protos[i%len(protos)]
-		r, long, cross := parkingLotTrial(nHops, proto, dur, TrialSeed(seed, i))
+		r, long, cross := parkingLotTrial(ts, nHops, proto, dur, TrialSeed(seed, i))
 		longT := long.WindowMbps(0.2*dur, dur)
 		var crossT []float64
 		for _, c := range cross {
@@ -72,20 +72,20 @@ func RunParkingLot(scale float64, seed int64) *Report {
 // bottlenecks in series, one long flow over all of them, one cross flow per
 // hop, and Poisson short flows on the interior hop. It returns the runner
 // (for link stats), the long flow, and the per-hop cross flows.
-func parkingLotTrial(nHops int, proto string, dur float64, seed int64) (*Runner, *Flow, []*Flow) {
+func parkingLotTrial(ts *TrialScratch, nHops int, proto string, dur float64, seed int64) (*Runner, *Flow, []*Flow) {
 	const (
 		rateMbps = 100
 		linkDel  = 0.005 // per-hop propagation, seconds
 		accessD  = 0.002 // per-flow access delay, seconds
 	)
-	ts := TopologySpec{Seed: seed}
+	spec := TopologySpec{Seed: seed}
 	for i := 0; i < nHops; i++ {
-		ts.Links = append(ts.Links, LinkSpec{
+		spec.Links = append(spec.Links, LinkSpec{
 			Name: hopName(i), From: fmt.Sprintf("n%d", i), To: fmt.Sprintf("n%d", i+1),
 			RateMbps: rateMbps, Delay: linkDel, BufBytes: 250 * netem.KB,
 		})
 	}
-	r := NewTopologyRunner(ts)
+	r := ts.TopologyRunner(fmt.Sprintf("%d/%s", nHops, proto), spec)
 
 	longFwd := []netem.HopSpec{netem.DelayHop(accessD)}
 	for i := 0; i < nHops; i++ {
@@ -109,8 +109,8 @@ func parkingLotTrial(nHops int, proto string, dur float64, seed int64) (*Runner,
 	// one bottleneck the long flow crosses. New Reno mice regardless of the
 	// long-lived protocol — cross-traffic is whatever the internet runs.
 	const miceHop = 1
-	arrRNG := r.Seeds.NextRand()
-	sizeRNG := r.Seeds.NextRand()
+	arrRNG := r.NextRand()
+	sizeRNG := r.NextRand()
 	miceRoute := []netem.HopSpec{netem.DelayHop(accessD), netem.LinkHop(hopName(miceHop))}
 	miceRev := []netem.HopSpec{netem.DelayHop(accessD + linkDel)}
 	workload.PoissonArrivals(r.Eng, arrRNG, 10, dur, func(int) {

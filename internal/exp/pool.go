@@ -112,6 +112,23 @@ func RunTrials(n int, fn func(trial int)) { RunTrialsWith(Workers(), n, fn) }
 // RunTrialsWith is RunTrials with an explicit worker count (1 = sequential,
 // in trial order, on the calling goroutine).
 func RunTrialsWith(workers, n int, fn func(trial int)) {
+	RunTrialsScratchWith(workers, n, func(i int, _ *TrialScratch) { fn(i) })
+}
+
+// RunTrialsScratch is RunTrials for trial functions that build their
+// runners through a TrialScratch arena: each worker goroutine owns one
+// scratch for its whole slice of the sweep, so consecutive trials on a
+// worker reuse fully built simulation state (see arena.go). The scratch
+// reaches only one trial at a time; results remain byte-identical at any
+// worker count because arena reuse is placement-policy only.
+func RunTrialsScratch(n int, fn func(trial int, ts *TrialScratch)) {
+	RunTrialsScratchWith(Workers(), n, fn)
+}
+
+// RunTrialsScratchWith is RunTrialsScratch with an explicit worker count
+// (1 = sequential, in trial order, on the calling goroutine, with a single
+// scratch serving every trial).
+func RunTrialsScratchWith(workers, n int, fn func(trial int, ts *TrialScratch)) {
 	if n <= 0 {
 		return
 	}
@@ -121,8 +138,9 @@ func RunTrialsWith(workers, n int, fn func(trial int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		var ts TrialScratch
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, &ts)
 		}
 		return
 	}
@@ -150,12 +168,13 @@ func RunTrialsWith(workers, n int, fn func(trial int)) {
 					panicMu.Unlock()
 				}
 			}()
+			var ts TrialScratch // one arena per worker, goroutine-local
 			for !stop.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(i, &ts)
 			}
 		}()
 	}
@@ -178,6 +197,19 @@ func RunPoints[T any](n int, fn func(point int) T) []T {
 func RunPointsWith[T any](workers, n int, fn func(point int) T) []T {
 	out := make([]T, n)
 	RunTrialsWith(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// RunPointsScratch is RunPoints for point functions that build their
+// runners through a per-worker TrialScratch arena (see RunTrialsScratch).
+func RunPointsScratch[T any](n int, fn func(point int, ts *TrialScratch) T) []T {
+	return RunPointsScratchWith[T](Workers(), n, fn)
+}
+
+// RunPointsScratchWith is RunPointsScratch with an explicit worker count.
+func RunPointsScratchWith[T any](workers, n int, fn func(point int, ts *TrialScratch) T) []T {
+	out := make([]T, n)
+	RunTrialsScratchWith(workers, n, func(i int, ts *TrialScratch) { out[i] = fn(i, ts) })
 	return out
 }
 

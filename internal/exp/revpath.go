@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"pcc/internal/netem"
 )
 
@@ -30,10 +32,12 @@ func RunRevPath(scale float64, seed int64) *Report {
 		notes    []string
 	}
 	// Three runs per protocol: forward flow alone, reverse flow alone, both.
-	results := RunPoints(len(protos)*3, func(i int) rpResult {
+	results := RunPointsScratch(len(protos)*3, func(i int, ts *TrialScratch) rpResult {
 		proto := protos[i/3]
 		mode := i % 3 // 0: fwd solo, 1: rev solo, 2: duplex
-		r := revPathRunner(TrialSeed(seed, i))
+		// Keyed by (proto, mode): each mode has a different flow/route
+		// structure on the same link pair.
+		r := revPathRunner(ts, fmt.Sprintf("%s/%d", proto, mode), TrialSeed(seed, i))
 		var fwd, rev *Flow
 		if mode != 1 {
 			fwd = r.AddFlow(FlowSpec{
@@ -83,8 +87,8 @@ func RunRevPath(scale float64, seed int64) *Report {
 
 // revPathRunner builds the asymmetric two-node topology: a 100 Mbps "fat"
 // link A→B and a 10 Mbps "thin" link B→A, 10 ms propagation each way.
-func revPathRunner(seed int64) *Runner {
-	return NewTopologyRunner(TopologySpec{
+func revPathRunner(ts *TrialScratch, key string, seed int64) *Runner {
+	return ts.TopologyRunner(key, TopologySpec{
 		Seed: seed,
 		Links: []LinkSpec{
 			{Name: "fat", From: "A", To: "B", RateMbps: 100, Delay: 0.010, BufBytes: 250 * netem.KB},

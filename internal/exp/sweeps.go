@@ -8,9 +8,11 @@ import (
 )
 
 // runSingle runs one flow of the given protocol over the path for dur
-// seconds and returns its goodput in Mbps.
-func runSingle(path PathSpec, proto string, dur float64, util core.Utility) float64 {
-	r := NewRunner(path)
+// seconds and returns its goodput in Mbps. The runner comes from the
+// worker's trial arena, keyed by protocol, so a sweep's repeated
+// single-flow trials reuse one warm simulation per protocol.
+func runSingle(ts *TrialScratch, path PathSpec, proto string, dur float64, util core.Utility) float64 {
+	r := ts.Runner(proto, path)
 	f := r.AddFlow(FlowSpec{Proto: proto, Utility: util})
 	r.Run(dur)
 	return f.GoodputMbps(dur)
@@ -31,9 +33,9 @@ func RunFig6(scale float64, seed int64) *Report {
 		Title:  "satellite link (42 Mbps, 800 ms RTT, 0.74% loss): throughput vs buffer size",
 		Header: append([]string{"buffer_KB"}, protos...),
 	}
-	tputs := RunPoints(len(buffers)*len(protos), func(i int) float64 {
+	tputs := RunPointsScratch(len(buffers)*len(protos), func(i int, ts *TrialScratch) float64 {
 		path := PathSpec{RateMbps: 42, RTT: 0.8, Loss: 0.0074, BufBytes: buffers[i/len(protos)], Seed: seed}
-		return runSingle(path, protos[i%len(protos)], dur, nil)
+		return runSingle(ts, path, protos[i%len(protos)], dur, nil)
 	})
 	var pccAt1MB, hyblaAt1MB float64
 	for bi, buf := range buffers {
@@ -73,11 +75,11 @@ func RunFig7(scale float64, seed int64) *Report {
 		Title:  "random loss (100 Mbps, 30 ms): throughput vs loss rate",
 		Header: append(append([]string{"loss"}, protos...), "achievable"),
 	}
-	tputs := RunPoints(len(losses)*len(protos), func(i int) float64 {
+	tputs := RunPointsScratch(len(losses)*len(protos), func(i int, ts *TrialScratch) float64 {
 		loss := losses[i/len(protos)]
 		path := PathSpec{RateMbps: 100, RTT: 0.030, Loss: loss, BufBytes: 375 * netem.KB, Seed: seed}
 		// Loss applies on forward path; paper also injects reverse loss.
-		r := NewRunner(path)
+		r := ts.Runner(protos[i%len(protos)], path)
 		f := r.AddFlow(FlowSpec{Proto: protos[i%len(protos)], RevLoss: loss})
 		r.Run(dur)
 		return f.GoodputMbps(dur)
@@ -120,9 +122,9 @@ func RunFig9(scale float64, seed int64) *Report {
 		Title:  "shallow buffers (100 Mbps, 30 ms): throughput vs buffer size",
 		Header: append([]string{"buffer_KB"}, protos...),
 	}
-	tputs := RunPoints(len(buffers)*len(protos), func(i int) float64 {
+	tputs := RunPointsScratch(len(buffers)*len(protos), func(i int, ts *TrialScratch) float64 {
 		path := PathSpec{RateMbps: 100, RTT: 0.030, BufBytes: buffers[i/len(protos)], Seed: seed}
-		return runSingle(path, protos[i%len(protos)], dur, nil)
+		return runSingle(ts, path, protos[i%len(protos)], dur, nil)
 	})
 	buf90 := map[string]float64{}
 	for bi, buf := range buffers {
@@ -163,16 +165,16 @@ func RunLossResilient(scale float64, seed int64) *Report {
 	}
 	var ratioAt10 float64
 	hlCfg := core.HeavyLossConfig(0.030)
-	tputs := RunPoints(len(losses)*2, func(i int) float64 {
+	tputs := RunPointsScratch(len(losses)*2, func(i int, ts *TrialScratch) float64 {
 		loss := losses[i/2]
 		path := PathSpec{RateMbps: 100, RTT: 0.030, Loss: loss, BufBytes: 375 * netem.KB, QueueKind: "fq", Seed: seed}
 		if i%2 == 0 {
-			r := NewRunner(path)
+			r := ts.Runner("pcc", path)
 			pf := r.AddFlow(FlowSpec{Proto: "pcc", PCCConfig: &hlCfg})
 			r.Run(dur)
 			return pf.GoodputMbps(dur)
 		}
-		return runSingle(path, "cubic", dur, nil)
+		return runSingle(ts, path, "cubic", dur, nil)
 	})
 	for li, loss := range losses {
 		pccT, cubicT := tputs[li*2], tputs[li*2+1]

@@ -39,10 +39,10 @@ func RunTable1(scale float64, seed int64) *Report {
 		Title:  "inter-data-center, 800 Mbps reserved paths with small-buffer rate limiter",
 		Header: append([]string{"pair", "RTT_ms"}, protos...),
 	}
-	tputs := RunPoints(len(table1Pairs)*len(protos), func(i int) float64 {
+	tputs := RunPointsScratch(len(table1Pairs)*len(protos), func(i int, ts *TrialScratch) float64 {
 		pair := table1Pairs[i/len(protos)]
 		path := PathSpec{RateMbps: 800, RTT: pair.RTT, BufBytes: 75 * netem.KB, Seed: seed + int64(i/len(protos))}
-		return runSingle(path, protos[i%len(protos)], dur, nil)
+		return runSingle(ts, path, protos[i%len(protos)], dur, nil)
 	})
 	var sumPCC, sumIll float64
 	var maxRatio float64

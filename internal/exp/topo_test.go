@@ -16,8 +16,9 @@ func TestShapeReversePathCongestion(t *testing.T) {
 	// measurably depressed by the opposing flow's ACK stream, and PCC holds
 	// the fat link far better than loss-based TCP under ACK congestion.
 	dur := 30.0
+	ts := new(TrialScratch)
 	run := func(proto string, duplex bool) (fwdT, revT float64) {
-		r := revPathRunner(42)
+		r := revPathRunner(ts, proto, 42)
 		fwd := r.AddFlow(FlowSpec{
 			Proto:    proto,
 			FwdRoute: []netem.HopSpec{netem.LinkHop("fat")},
@@ -67,7 +68,7 @@ func TestShapeParkingLotSqueeze(t *testing.T) {
 	// below its single-hop competitors (compounded per-hop loss), while the
 	// network itself stays near-fully utilized at every hop.
 	dur := 30.0
-	r, long, cross := parkingLotTrial(3, "pcc", dur, 42)
+	r, long, cross := parkingLotTrial(new(TrialScratch), 3, "pcc", dur, 42)
 	longT := long.WindowMbps(0.2*dur, dur)
 	var crossSum float64
 	for _, c := range cross {

@@ -35,14 +35,32 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)))
 }
 
+// SortInto returns xs sorted ascending in buf's storage (buf is truncated
+// and grown as needed; pass a retained scratch slice for 0 allocations once
+// its capacity covers the inputs). xs is not modified.
+func SortInto(buf, xs []float64) []float64 {
+	buf = append(buf[:0], xs...)
+	sort.Float64s(buf)
+	return buf
+}
+
 // Percentile returns the p-th percentile (0–100) of xs using linear
-// interpolation between closest ranks. It copies and sorts its input.
+// interpolation between closest ranks. It copies and sorts its input; use
+// SortInto + PercentileSorted to amortize the sort over several quantiles
+// of one sample set with caller-owned scratch.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	return PercentileSorted(SortInto(nil, xs), p)
+}
+
+// PercentileSorted is Percentile for an already-ascending sample slice. It
+// allocates nothing.
+func PercentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return s[0]
 	}
@@ -86,16 +104,23 @@ type CDFPoint struct {
 
 // CDF returns the empirical CDF of xs (sorted ascending).
 func CDF(xs []float64) []CDFPoint {
-	if len(xs) == 0 {
-		return nil
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	out := make([]CDFPoint, len(s))
-	for i, x := range s {
-		out[i] = CDFPoint{X: x, Frac: float64(i+1) / float64(len(s))}
-	}
+	out, _ := CDFInto(nil, nil, xs)
 	return out
+}
+
+// CDFInto is CDF building into dst's storage, with buf as the sort scratch;
+// it returns the points plus the (possibly grown) scratch for the caller to
+// retain. With warm scratch of sufficient capacity it allocates nothing.
+func CDFInto(dst []CDFPoint, buf, xs []float64) ([]CDFPoint, []float64) {
+	dst = dst[:0]
+	if len(xs) == 0 {
+		return dst, buf
+	}
+	buf = SortInto(buf, xs)
+	for i, x := range buf {
+		dst = append(dst, CDFPoint{X: x, Frac: float64(i+1) / float64(len(buf))})
+	}
+	return dst, buf
 }
 
 // FracAtLeast returns the fraction of samples >= threshold.

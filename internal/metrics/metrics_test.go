@@ -99,3 +99,43 @@ func TestWindowedJain(t *testing.T) {
 		t.Fatalf("alternating flows unfair at scale 2: %v", long)
 	}
 }
+
+func TestSortedScratchPathsMatchAllocatingOnes(t *testing.T) {
+	xs := []float64{9, 2, 7, 2, 5, 1, 8}
+	buf := SortInto(nil, xs)
+	for _, p := range []float64{0, 10, 50, 90, 95, 100} {
+		if got, want := PercentileSorted(buf, p), Percentile(xs, p); got != want {
+			t.Fatalf("PercentileSorted(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if xs[0] != 9 {
+		t.Fatal("SortInto mutated its input")
+	}
+	cdf := CDF(xs)
+	cdf2, _ := CDFInto(nil, nil, xs)
+	if len(cdf) != len(cdf2) {
+		t.Fatalf("CDFInto len %d, want %d", len(cdf2), len(cdf))
+	}
+	for i := range cdf {
+		if cdf[i] != cdf2[i] {
+			t.Fatalf("CDFInto[%d] = %v, want %v", i, cdf2[i], cdf[i])
+		}
+	}
+}
+
+func TestScratchPathsAllocateNothingWhenWarm(t *testing.T) {
+	xs := []float64{9, 2, 7, 2, 5, 1, 8, 4, 6, 3}
+	buf := make([]float64, 0, len(xs))
+	if avg := testing.AllocsPerRun(20, func() {
+		buf = SortInto(buf, xs)
+		_ = PercentileSorted(buf, 95)
+	}); avg != 0 {
+		t.Errorf("SortInto+PercentileSorted with warm scratch: %.1f allocs, want 0", avg)
+	}
+	dst := make([]CDFPoint, 0, len(xs))
+	if avg := testing.AllocsPerRun(20, func() {
+		dst, buf = CDFInto(dst, buf, xs)
+	}); avg != 0 {
+		t.Errorf("CDFInto with warm scratch: %.1f allocs, want 0", avg)
+	}
+}

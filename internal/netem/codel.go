@@ -36,6 +36,19 @@ func NewCoDel(capBytes int) *CoDel {
 	return &CoDel{Target: 0.005, Interval: 0.100, CapBytes: capBytes}
 }
 
+// Reset re-specs the queue in place for a new simulation: queued packets
+// drain into the pool, the control law returns to its initial state, and
+// the standard parameters are restored with a new physical capacity.
+func (c *CoDel) Reset(capBytes int) {
+	c.q.drain(c.Pool)
+	c.Target, c.Interval = 0.005, 0.100
+	c.CapBytes = capBytes
+	c.drops, c.dropBytes = 0, 0
+	c.dropping = false
+	c.firstAbove, c.dropNext = 0, 0
+	c.dropCount = 0
+}
+
 // Enqueue implements Queue.
 func (c *CoDel) Enqueue(p *Packet, now float64) bool {
 	if c.q.count > 0 && c.CapBytes >= 0 && c.q.bytes+p.Size > c.CapBytes {

@@ -73,6 +73,17 @@ func (d *Dumbbell) AddFlow(id int, cfg FlowConfig, seeds *sim.Seeds, dataSink, a
 		seeds, dataSink, ackSink)
 }
 
+// RespecFlow is AddFlow's arena-reuse counterpart: for a known flow id it
+// re-specs the existing access hops and reverse path in place (see
+// Topology.RespecFlow); for a new id it registers the flow exactly as
+// AddFlow does. Call only between simulations, after the engine was Reset.
+func (d *Dumbbell) RespecFlow(id int, cfg FlowConfig, seeds *sim.Seeds, dataSink, ackSink func(*Packet)) {
+	d.Topo.RespecFlow(id,
+		[]HopSpec{DelayHop(cfg.FwdDelay), LinkHop(BottleneckLink)},
+		[]HopSpec{LossyDelayHop(cfg.RevDelay, cfg.RevLoss)},
+		seeds, dataSink, ackSink)
+}
+
 // SetFlowDelays changes a flow's propagation delays at runtime (used by the
 // rapidly-changing-network experiment).
 func (d *Dumbbell) SetFlowDelays(id int, fwd, rev float64) {

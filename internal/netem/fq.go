@@ -71,6 +71,44 @@ func (f *FQ) flow(id int) *fqFlow {
 	return fl
 }
 
+// Reset re-specs the fair queue in place for a new simulation: every child
+// queue drains into the pool and is re-specced with the new per-flow
+// capacity (drop-tail and CoDel children are handled directly; children of
+// other types are discarded and rebuilt lazily), the DRR scheduler state
+// clears, and the quantum returns to its default. Callers using a custom
+// NewChild must refresh that closure themselves if it captured the old
+// capacity.
+func (f *FQ) Reset(perFlowBytes int) {
+	f.Quantum = 1500
+	f.PerFlowBytes = perFlowBytes
+	for i, fl := range f.flows {
+		if fl == nil {
+			continue
+		}
+		switch q := fl.q.(type) {
+		case *DropTail:
+			q.Reset(perFlowBytes, f.Pool)
+		case *CoDel:
+			q.Reset(perFlowBytes)
+		default:
+			for {
+				p := fl.q.Dequeue(0)
+				if p == nil {
+					break
+				}
+				f.Pool.Put(p)
+			}
+			f.flows[i] = nil
+			continue
+		}
+		fl.active = false
+		fl.deficit = 0
+	}
+	f.active = f.active[:0]
+	f.next = 0
+	f.bytes, f.count = 0, 0
+}
+
 // Enqueue implements Queue.
 func (f *FQ) Enqueue(p *Packet, now float64) bool {
 	fl := f.flow(p.Flow)

@@ -83,6 +83,21 @@ func NewLink(eng *sim.Engine, q Queue, rateBps, delay, lossRate float64, rng *ra
 	return l
 }
 
+// Reset re-specs the link in place for a new simulation on a reset engine:
+// new rate/delay/loss parameters, a re-seeded loss stream, and zeroed
+// counters, with the propagation pipe and queue storage retained. The seed
+// must come from the same derivation-chain position a fresh NewLink would
+// have drawn its rng from, so the loss process is bit-identical to a fresh
+// build. The caller resets the queue separately (capacity may change).
+func (l *Link) Reset(rateBps, delay, lossRate float64, seed int64) {
+	l.Rate, l.Delay, l.LossRate = rateBps, delay, lossRate
+	l.rng.Reseed(seed)
+	l.busy = false
+	l.delivered, l.lost = 0, 0
+	l.offeredBytes, l.deliveredBytes, l.lostBytes, l.txBytes = 0, 0, 0, 0
+	l.busyUntil = 0
+}
+
 // Send offers a packet to the link. Packets rejected by the queue are
 // dropped silently (the queue counts them).
 func (l *Link) Send(p *Packet) {

@@ -62,6 +62,18 @@ func (f *fifo) peek() *Packet {
 	return f.buf[f.head]
 }
 
+// drain pops every queued packet into pool (discarding when pool is nil),
+// leaving the ring storage in place for reuse.
+func (f *fifo) drain(pool *PacketPool) {
+	for {
+		p := f.pop()
+		if p == nil {
+			return
+		}
+		pool.Put(p)
+	}
+}
+
 func (f *fifo) grow() {
 	n := len(f.buf) * 2
 	if n == 0 {
@@ -94,6 +106,16 @@ type DropTail struct {
 // capBytes < 0 means unlimited.
 func NewDropTail(capBytes int) *DropTail {
 	return &DropTail{CapBytes: capBytes}
+}
+
+// Reset re-specs the queue in place for a new simulation: queued packets
+// drain into pool, drop counters zero, and the capacity is replaced, with
+// the ring storage retained (so a warm queue re-spec allocates nothing).
+func (q *DropTail) Reset(capBytes int, pool *PacketPool) {
+	q.drain(pool)
+	q.CapBytes = capBytes
+	q.CapPackets = 0
+	q.drops, q.dropBytes = 0, 0
 }
 
 // Enqueue implements Queue. A packet is accepted if the queue is empty (so a

@@ -19,6 +19,10 @@ type Rng struct {
 	seed int64
 	r    *rand.Rand
 	ok   bool
+	// stale marks a materialized generator whose seed changed (Reseed on a
+	// stream that already drew); it is re-seeded in place on the next draw,
+	// so reuse never reallocates the 607-word register.
+	stale bool
 }
 
 // SeededRng returns a stream that will materialize rand.New(rand.NewSource
@@ -37,10 +41,23 @@ func WrapRng(r *rand.Rand) Rng {
 // drawn from.
 func (g *Rng) Valid() bool { return g.ok }
 
+// Reseed rewinds the stream to a new seed in place, keeping any generator
+// already materialized (it is lazily re-seeded on the next draw, which
+// yields the identical sequence to a fresh rand.New(rand.NewSource(seed))).
+// It is the arena-reuse counterpart of SeededRng.
+func (g *Rng) Reseed(seed int64) {
+	g.seed = seed
+	g.ok = true
+	g.stale = g.r != nil
+}
+
 // Float64 draws from the stream, materializing the generator on first use.
 func (g *Rng) Float64() float64 {
 	if g.r == nil {
 		g.r = rand.New(rand.NewSource(g.seed))
+	} else if g.stale {
+		g.r.Seed(g.seed)
+		g.stale = false
 	}
 	return g.r.Float64()
 }

@@ -91,9 +91,12 @@ func (li *linkInfo) dispatch(t *Topology, p *Packet) {
 	t.Pool.Put(p)
 }
 
-// topoFlow is one registered flow: its two routes.
+// topoFlow is one registered flow: its two routes plus the single lossy-hop
+// RNG stream both routes share (kept here so RespecFlow can rewind it in
+// place instead of allocating a new stream per trial).
 type topoFlow struct {
 	fwd, rev *Route
+	rng      *Rng
 }
 
 // hop is one step of one flow's route in one direction. Exactly one of link
@@ -282,13 +285,102 @@ func (t *Topology) AddFlow(id int, fwd, rev []HopSpec, seeds *sim.Seeds, dataSin
 	}
 	// The stream is derived eagerly (so the seed chain other components see
 	// never shifts) but materialized lazily on the first loss draw.
-	rng := SeededRng(seeds.Next())
+	rng := new(Rng)
+	*rng = SeededRng(seeds.Next())
 	f := &topoFlow{
-		fwd: t.buildRoute(id, false, fwd, &rng, dataSink),
-		rev: t.buildRoute(id, true, rev, &rng, ackSink),
+		fwd: t.buildRoute(id, false, fwd, rng, dataSink),
+		rev: t.buildRoute(id, true, rev, rng, ackSink),
+		rng: rng,
 	}
 	t.flows = growPut(t.flows, id, f)
 	return f.fwd, f.rev
+}
+
+// RespecFlow re-registers flow id for a new trial on a reset engine. For an
+// unknown id it is exactly AddFlow. For a known id it re-specs the existing
+// routes in place when their shapes (hop count, link names, hop kinds) match
+// the specs — updating delay/loss parameters, rewinding the flow's RNG
+// stream, and re-pointing the delivery sinks, with every hop, pipe and
+// routing-table entry reused — and otherwise tears the old routes down and
+// rebuilds them. Either way exactly one seed is drawn from the chain, at the
+// same position AddFlow draws it, so the loss process is bit-identical to a
+// fresh build.
+//
+// RespecFlow must only be called between simulations (after Engine.Reset):
+// re-speccing routes with packets in flight would mis-deliver them.
+func (t *Topology) RespecFlow(id int, fwd, rev []HopSpec, seeds *sim.Seeds, dataSink, ackSink func(*Packet)) (fwdRoute, revRoute *Route) {
+	f := t.flow(id)
+	if f == nil {
+		return t.AddFlow(id, fwd, rev, seeds, dataSink, ackSink)
+	}
+	seed := seeds.Next()
+	if routeShape(f.fwd, fwd) && routeShape(f.rev, rev) {
+		f.rng.Reseed(seed)
+		t.respecRoute(id, f.fwd, fwd, dataSink)
+		t.respecRoute(id, f.rev, rev, ackSink)
+		return f.fwd, f.rev
+	}
+	t.dropRoute(id, false, f.fwd)
+	t.dropRoute(id, true, f.rev)
+	rng := f.rng
+	rng.Reseed(seed)
+	f.fwd = t.buildRoute(id, false, fwd, rng, dataSink)
+	f.rev = t.buildRoute(id, true, rev, rng, ackSink)
+	return f.fwd, f.rev
+}
+
+// routeShape reports whether an existing route has the same shape as specs:
+// same hop count, with link hops over the same links and delay hops in the
+// same positions. Parameters (delay, loss) are not part of the shape.
+func routeShape(r *Route, specs []HopSpec) bool {
+	if len(r.hops) != len(specs) {
+		return false
+	}
+	for i, hs := range specs {
+		h := r.hops[i]
+		if hs.Link != "" {
+			if h.link == nil || h.link.name != hs.Link {
+				return false
+			}
+		} else if h.link != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// respecRoute applies new hop parameters and the terminal sink to a
+// shape-matching route.
+func (t *Topology) respecRoute(id int, r *Route, specs []HopSpec, sink func(*Packet)) {
+	for i, hs := range specs {
+		h := r.hops[i]
+		if hs.Link != "" {
+			if hs.Delay != 0 || hs.Loss != 0 {
+				panic(fmt.Sprintf("netem: flow %d hop over link %q also sets Delay/Loss (a link hop uses the Link's own parameters; add a separate delay hop)", id, hs.Link))
+			}
+			continue
+		}
+		h.delay = hs.Delay
+		h.loss = hs.Loss
+	}
+	r.hops[len(r.hops)-1].sink = sink
+}
+
+// dropRoute unregisters one direction of a flow's path: link routing-table
+// entries clear and delay-hop pipes leave the engine's pipe list.
+func (t *Topology) dropRoute(id int, ack bool, r *Route) {
+	for _, h := range r.hops {
+		h.sink = nil
+		if h.link != nil {
+			if ack {
+				h.link.ack[id] = nil
+			} else {
+				h.link.data[id] = nil
+			}
+		} else if h.pipe != nil {
+			t.Eng.DropPipe(h.pipe)
+		}
+	}
 }
 
 // buildRoute assembles and registers one direction of a flow's path.

@@ -16,6 +16,13 @@ func NewSeeds(seed int64) *Seeds {
 	return &Seeds{state: uint64(seed) ^ 0x9e3779b97f4a7c15}
 }
 
+// Reset rewinds the chain to the start of a new root seed, in place. A reset
+// chain produces exactly the sequence NewSeeds(seed) would, so arena-style
+// callers can re-derive a trial's streams without reallocating the chain.
+func (s *Seeds) Reset(seed int64) {
+	s.state = uint64(seed) ^ 0x9e3779b97f4a7c15
+}
+
 // Next returns the next derived seed. The mixing function is SplitMix64,
 // which has full 64-bit period and passes standard avalanche tests; any
 // two derived streams are effectively independent for simulation purposes.

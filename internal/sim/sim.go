@@ -19,6 +19,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Time is a simulated instant, in seconds since simulation start.
@@ -353,6 +354,81 @@ func (e *Engine) PostArg(delay float64, fn func(any), arg any) {
 
 // Halt stops the run loop after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
+
+// Reset returns the engine to its initial state — clock at zero, no queued
+// events, sequence counter restarted — while retaining every piece of
+// allocated storage: the heap's backing array, the wheel's slot arrays, each
+// registered Pipe's ring, and the event free list. A reset engine therefore
+// schedules its next simulation without the warm-up allocations a fresh
+// NewEngine pays, and (because nextSeq restarts at zero) produces exactly
+// the event sequence a fresh engine would.
+//
+// reclaim, when non-nil, is called with the arg of every dropped
+// arg-carrying event and pipe entry, so callers can recycle pooled objects
+// (in-flight packets) that would otherwise leak from their free lists.
+// Pending niladic events are simply discarded. Timers handed out before the
+// reset become inert (their generation no longer matches).
+func (e *Engine) Reset(reclaim func(arg any)) {
+	for i := range e.events {
+		ev := e.events[i].ev
+		if reclaim != nil && ev.arg != nil && !ev.dead {
+			reclaim(ev.arg)
+		}
+		e.release(ev)
+	}
+	e.events = e.events[:0]
+	for l := range e.wheel.levels {
+		lvl := &e.wheel.levels[l]
+		for w, word := range lvl.occupied {
+			for word != 0 {
+				s := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				for _, ev := range lvl.slots[s] {
+					if reclaim != nil && ev.arg != nil && !ev.dead {
+						reclaim(ev.arg)
+					}
+					e.release(ev)
+				}
+				lvl.slots[s] = lvl.slots[s][:0]
+			}
+			lvl.occupied[w] = 0
+		}
+	}
+	e.wheel.cur = 0
+	e.wheel.count = 0
+	for _, p := range e.pipes {
+		for i := 0; i < p.count; i++ {
+			ent := &p.buf[(p.head+i)&(len(p.buf)-1)]
+			if reclaim != nil && ent.arg != nil {
+				reclaim(ent.arg)
+			}
+		}
+		p.head, p.count, p.armed = 0, 0, false
+	}
+	e.now = 0
+	e.nextSeq = 0
+	e.nRun = 0
+	e.halted = false
+}
+
+// DropPipe deregisters a pipe created with NewPipe so an abandoned delay
+// stage (a torn-down route hop) does not accumulate in the engine's pipe
+// list across topology re-specs. The pipe must be idle — Reset the engine
+// first; dropping a pipe with queued entries would corrupt Pending.
+func (e *Engine) DropPipe(p *Pipe) {
+	if p.count > 0 || p.armed {
+		panic("sim: DropPipe on a non-empty pipe (Reset the engine first)")
+	}
+	for i, q := range e.pipes {
+		if q == p {
+			last := len(e.pipes) - 1
+			e.pipes[i] = e.pipes[last]
+			e.pipes[last] = nil
+			e.pipes = e.pipes[:last]
+			return
+		}
+	}
+}
 
 // Pending returns the number of live queued events, wherever they reside:
 // the heap, the timing wheel, or a Pipe (pipe entries cannot be cancelled,

@@ -6,8 +6,13 @@
 #                                      # highest checked-in snapshot, so a bare
 #                                      # run extends the trajectory instead of
 #                                      # clobbering a previous PR's point
+#   scripts/bench.sh -mem [EXP]        # allocation-profile one sweep (default
+#                                      # fig14) via pccbench -memprofile and
+#                                      # print the top-10 alloc sites, so perf
+#                                      # PRs can see where trial memory goes
 #   BENCHTIME=5x scripts/bench.sh      # override go test -benchtime (default 1x)
 #   COUNT=3 scripts/bench.sh           # override -count (default 1)
+#   MEMSCALE=0.1 scripts/bench.sh -mem # override the -mem sweep's scale
 #
 # The tier-1 set is: every paper-experiment benchmark at the repo root
 # (bench_test.go) plus the scheduler/network microbenchmarks in
@@ -21,6 +26,24 @@
 # PR checks in a fresh BENCH_<n>.json produced by this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# -mem: dump the top-10 allocation sites of one experiment sweep. This is
+# the sanity view for trial-memory work: after the arena PR the top entries
+# should be run-phase churn and first-build warm-up, not per-trial setup.
+if [ "${1:-}" = "-mem" ]; then
+    EXPID="${2:-fig14}"
+    SCALE="${MEMSCALE:-0.1}"
+    BIN="$(mktemp -d)/pccbench"
+    PROF="${BIN%/*}/mem.pprof"
+    go build -o "$BIN" ./cmd/pccbench
+    "$BIN" -exp "$EXPID" -scale "$SCALE" -memprofile "$PROF" > /dev/null
+    echo "== top-10 alloc sites for -exp $EXPID -scale $SCALE (alloc_space) =="
+    go tool pprof -top -nodecount=10 -sample_index=alloc_space "$BIN" "$PROF"
+    echo
+    echo "== top-10 alloc sites for -exp $EXPID -scale $SCALE (alloc_objects) =="
+    go tool pprof -top -nodecount=10 -sample_index=alloc_objects "$BIN" "$PROF"
+    exit 0
+fi
 
 next_index() {
     local max=0 n

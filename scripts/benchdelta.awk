@@ -1,0 +1,46 @@
+# benchdelta.awk — compact bytes/op and allocs/op delta table between two
+# BENCH_*.json snapshots produced by scripts/bench.sh:
+#
+#   awk -f scripts/benchdelta.awk OLD.json NEW.json
+#
+# benchstat already covers sec/op statistics; this view exists so allocation
+# regressions (the quantity the trial-arena work optimizes) stand out at a
+# glance in CI logs even for single-sample -benchtime=1x runs, where
+# benchstat hides everything behind high variance warnings. Deltas are
+# NEW/OLD ratios; allocs and bytes are deterministic per benchmark, so a
+# single sample is meaningful for them.
+function field(line, name,    v) {
+    if (match(line, "\"" name "\": [0-9.eE+-]+")) {
+        v = substr(line, RSTART, RLENGTH)
+        sub(".*: ", "", v)
+        return v + 0
+    }
+    return -1
+}
+function ratio(new, old) {
+    if (old <= 0 || new < 0) return "n/a"
+    return sprintf("%.2fx", new / old)
+}
+/^[[:space:]]*"Benchmark/ {
+    name = $1
+    gsub(/[":]/, "", name)
+    ns = field($0, "ns_per_op")
+    bytes = field($0, "bytes_per_op")
+    allocs = field($0, "allocs_per_op")
+    if (FNR == NR || !(name in oldNs)) {
+        if (FNR == NR) {
+            oldNs[name] = ns; oldBytes[name] = bytes; oldAllocs[name] = allocs
+            next
+        }
+        # New benchmark with no baseline: report absolute values.
+        printf "%-36s %12s %14d B/op %12d allocs/op (new)\n", name, "-", bytes, allocs
+        next
+    }
+    if (!header++) {
+        printf "%-36s %12s %20s %22s\n", "benchmark", "time", "bytes/op", "allocs/op"
+    }
+    printf "%-36s %12s %14d (%s) %12d (%s)\n", name, ratio(ns, oldNs[name]), bytes, ratio(bytes, oldBytes[name]), allocs, ratio(allocs, oldAllocs[name])
+}
+END {
+    if (!header) print "no comparable benchmarks found"
+}
