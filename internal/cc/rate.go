@@ -1,6 +1,8 @@
 package cc
 
 import (
+	"pcc/internal/baseline"
+	"pcc/internal/core"
 	"pcc/internal/netem"
 	"pcc/internal/sim"
 )
@@ -69,6 +71,15 @@ type RateSender struct {
 	TraceRate bool
 	RateTrace []RatePoint
 	lastRate  float64
+
+	// algoPCC/algoSabul/algoPCP cache Algo's concrete type (set in
+	// initDefaults) so the per-packet hooks — Rate on every pacing tick,
+	// OnSend per transmission, OnAck per acknowledgment — dispatch directly
+	// instead of through the RateAlgo interface. At most one is non-nil; an
+	// algorithm outside the three built-ins falls back to the interface.
+	algoPCC   *core.PCC
+	algoSabul *baseline.Sabul
+	algoPCP   *baseline.PCP
 }
 
 // RatePoint is one (time, rate bytes/s) sample of the sender's target rate.
@@ -98,11 +109,84 @@ func NewRateSender(eng *sim.Engine, flow int, algo RateAlgo, sendData func(*nete
 // fresh one when a default changes.
 func (s *RateSender) initDefaults(algo RateAlgo) {
 	s.Algo = algo
+	s.algoPCC, s.algoSabul, s.algoPCP = nil, nil, nil
+	switch a := algo.(type) {
+	case *core.PCC:
+		s.algoPCC = a
+	case *baseline.Sabul:
+		s.algoSabul = a
+	case *baseline.PCP:
+		s.algoPCP = a
+	}
 	s.DupThresh = 3
 	s.MinRate = 2 * MSS
 	s.RTTHint = 0.1
 	s.PktSize = MSS
 	s.sackHigh = -1
+}
+
+// algoRate, algoOnSend, algoOnAck and algoOnLost are the devirtualized
+// algorithm hooks: one predictable nil check and a direct (inlinable) call
+// for the built-in algorithms, interface dispatch otherwise.
+func (s *RateSender) algoRate(now float64) float64 {
+	if s.algoPCC != nil {
+		return s.algoPCC.Rate(now)
+	}
+	if s.algoSabul != nil {
+		return s.algoSabul.Rate(now)
+	}
+	if s.algoPCP != nil {
+		return s.algoPCP.Rate(now)
+	}
+	return s.Algo.Rate(now)
+}
+
+func (s *RateSender) algoOnSend(seq int64, size int, now float64) {
+	if s.algoPCC != nil {
+		s.algoPCC.OnSend(seq, size, now)
+		return
+	}
+	if s.algoSabul != nil {
+		s.algoSabul.OnSend(seq, size, now)
+		return
+	}
+	if s.algoPCP != nil {
+		s.algoPCP.OnSend(seq, size, now)
+		return
+	}
+	s.Algo.OnSend(seq, size, now)
+}
+
+func (s *RateSender) algoOnAck(seq int64, rtt float64, now float64) {
+	if s.algoPCC != nil {
+		s.algoPCC.OnAck(seq, rtt, now)
+		return
+	}
+	if s.algoSabul != nil {
+		s.algoSabul.OnAck(seq, rtt, now)
+		return
+	}
+	if s.algoPCP != nil {
+		s.algoPCP.OnAck(seq, rtt, now)
+		return
+	}
+	s.Algo.OnAck(seq, rtt, now)
+}
+
+func (s *RateSender) algoOnLost(seq int64, now float64) {
+	if s.algoPCC != nil {
+		s.algoPCC.OnLost(seq, now)
+		return
+	}
+	if s.algoSabul != nil {
+		s.algoSabul.OnLost(seq, now)
+		return
+	}
+	if s.algoPCP != nil {
+		s.algoPCP.OnLost(seq, now)
+		return
+	}
+	s.Algo.OnLost(seq, now)
 }
 
 // Reset returns the sender to its just-constructed state around a new
@@ -129,6 +213,11 @@ func (s *RateSender) Reset(algo RateAlgo) {
 	s.lastRate = 0
 }
 
+// SetArena points the sequence window's free-list refills at a shared
+// chunk arena (one per experiment worker). Like the Eng/Flow/SendData/Pool
+// wiring, the arena survives Reset.
+func (s *RateSender) SetArena(a *PktArena) { s.win.arena = a }
+
 // Start begins transmission.
 func (s *RateSender) Start() {
 	if s.started {
@@ -154,7 +243,7 @@ func (s *RateSender) MeanRTT() float64 {
 }
 
 func (s *RateSender) rate() float64 {
-	r := s.Algo.Rate(s.Eng.Now())
+	r := s.algoRate(s.Eng.Now())
 	if r < s.MinRate {
 		r = s.MinRate
 	}
@@ -215,7 +304,7 @@ func (s *RateSender) sendOne(now float64) {
 	st.sentAt = now
 	p := s.Pool.Get()
 	p.Flow, p.Seq, p.Size, p.Sent = s.Flow, st.seq, s.PktSize, now
-	s.Algo.OnSend(st.seq, s.PktSize, now)
+	s.algoOnSend(st.seq, s.PktSize, now)
 	s.SendData(p)
 	s.armTail()
 }
@@ -272,7 +361,7 @@ func (s *RateSender) onTail() {
 		if !st.sacked && !st.lost && now-st.sentAt > rto {
 			st.lost = true
 			s.rtxQ = append(s.rtxQ, st.seq)
-			s.Algo.OnLost(st.seq, now)
+			s.algoOnLost(st.seq, now)
 		}
 	}
 	if s.outstandingUnsacked() > 0 || s.hasData() {
@@ -306,7 +395,7 @@ func (s *RateSender) OnAck(p *netem.Packet) {
 			s.rttSum += rtt
 			s.rttCnt++
 		}
-		s.Algo.OnAck(sackSeq, rtt, now)
+		s.algoOnAck(sackSeq, rtt, now)
 	}
 	if sackSeq > s.sackHigh {
 		s.sackHigh = sackSeq
@@ -324,7 +413,7 @@ func (s *RateSender) OnAck(p *netem.Packet) {
 			// (no RTT sample). Without this, ACK-path loss would inflate
 			// the monitor's measured loss rate.
 			st.sacked = true
-			s.Algo.OnAck(st.seq, 0, now)
+			s.algoOnAck(st.seq, 0, now)
 		}
 		s.win.recycle(st)
 	}
@@ -349,7 +438,7 @@ func (s *RateSender) OnAck(p *netem.Packet) {
 			if !st.sacked && !st.lost {
 				st.lost = true
 				s.rtxQ = append(s.rtxQ, st.seq)
-				s.Algo.OnLost(st.seq, now)
+				s.algoOnLost(st.seq, now)
 			}
 		}
 		s.lossScan = limit + 1

@@ -1,5 +1,31 @@
 package cc
 
+// pktChunk is the refill granularity of a seqWindow's entry free list.
+const pktChunk = 64
+
+// pktArenaBlock is the allocation granularity of a PktArena, in entries.
+const pktArenaBlock = 16 * pktChunk
+
+// PktArena carves pktChunk-sized pktState sub-slices out of larger blocks.
+// One arena per experiment worker, shared by every sender that worker ever
+// builds (see exp.Runner), turns the per-window chunk allocations of a
+// many-flow trial into a handful of block allocations — and because blocks
+// outlive trials, a warm worker's windows refill without allocating at all.
+// pktState is pointer-free, so blocks cost the GC nothing to scan.
+type PktArena struct {
+	block []pktState
+}
+
+// chunk returns a zeroed pktChunk-entry slice carved from the current block.
+func (a *PktArena) chunk() []pktState {
+	if len(a.block) < pktChunk {
+		a.block = make([]pktState, pktArenaBlock)
+	}
+	c := a.block[:pktChunk:pktChunk]
+	a.block = a.block[pktChunk:]
+	return c
+}
+
 // seqWindow tracks the outstanding packets of one sender, ordered by
 // sequence number. It is the single implementation of the window machinery
 // both RateSender and WindowSender build on: entries are appended in seq
@@ -10,6 +36,8 @@ type seqWindow struct {
 	entries []*pktState // ordered by seq; slots below head are nil
 	head    int
 	free    []*pktState
+	// arena, when set, supplies free-list refill chunks (see PktArena).
+	arena *PktArena
 }
 
 // add appends a fresh or recycled entry for seq, which must exceed every
@@ -17,10 +45,13 @@ type seqWindow struct {
 func (w *seqWindow) add(seq int64) *pktState {
 	if len(w.free) == 0 {
 		// Refill in chunks: a window ramping to its peak (incast collapse,
-		// deep-BDP flights) would otherwise allocate one object per packet,
-		// and pktState is pointer-free so a chunk costs the GC nothing to
-		// scan.
-		chunk := make([]pktState, 64)
+		// deep-BDP flights) would otherwise allocate one object per packet.
+		var chunk []pktState
+		if w.arena != nil {
+			chunk = w.arena.chunk()
+		} else {
+			chunk = make([]pktState, pktChunk)
+		}
 		for i := range chunk {
 			w.free = append(w.free, &chunk[i])
 		}

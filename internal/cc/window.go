@@ -140,6 +140,11 @@ func (s *WindowSender) Reset(algo WindowAlgo) {
 	s.done, s.started = false, false
 }
 
+// SetArena points the sequence window's free-list refills at a shared
+// chunk arena (one per experiment worker). Like the Eng/Flow/SendData/Pool
+// wiring, the arena survives Reset.
+func (s *WindowSender) SetArena(a *PktArena) { s.win.arena = a }
+
 // Start begins transmission.
 func (s *WindowSender) Start() {
 	if s.started {
@@ -190,7 +195,11 @@ func (s *WindowSender) trySend() {
 		s.schedulePace()
 		return
 	}
-	for float64(s.pipe) < s.cwnd() && s.hasData() {
+	// Hoist the window once: Cwnd is a pure getter and sendOne runs no
+	// algorithm hooks, so the value cannot change inside the loop — one
+	// interface dispatch covers the whole send train.
+	w := s.cwnd()
+	for float64(s.pipe) < w && s.hasData() {
 		s.sendOne()
 	}
 }
@@ -200,14 +209,15 @@ func (s *WindowSender) schedulePace() {
 	if s.paceTimer.Active() || s.done {
 		return
 	}
-	if float64(s.pipe) >= s.cwnd() || !s.hasData() {
+	w := s.cwnd()
+	if float64(s.pipe) >= w || !s.hasData() {
 		return
 	}
 	rtt := s.Est.SRTT
 	if !s.Est.HasSample() {
 		rtt = s.RTTHint
 	}
-	rate := s.cwnd() * float64(s.PktSize) / rtt // bytes/s
+	rate := w * float64(s.PktSize) / rtt // bytes/s
 	interval := float64(s.PktSize) / rate
 	s.Eng.Rearm(&s.paceTimer, interval, s.paceFn)
 }

@@ -59,11 +59,11 @@ type Controller struct {
 	rate  float64 // base rate r, bytes/s
 	eps   float64
 
-	roles map[int64]*miRole
-	// roleFree recycles delivered miRole records: the monitor retires MIs at
-	// tens per second for the whole run, and without a free list every MI
-	// costs one allocation here.
-	roleFree []*miRole
+	// roles tracks outstanding MIs by value in an id-windowed ring (MI ids
+	// are assigned in strictly increasing order, results lag ~1 RTT), so
+	// recording and delivering a role allocates nothing and resetting the
+	// controller is deterministic — no map, no free list (see roleRing).
+	roles roleRing
 
 	// Starting state bookkeeping.
 	lastStartUtility float64
@@ -95,51 +95,37 @@ type Controller struct {
 // NewController builds a controller starting in the Starting state at
 // cfg.InitialRate.
 func NewController(cfg Config, rng *rand.Rand) *Controller {
-	c := &Controller{roles: map[int64]*miRole{}}
+	c := &Controller{}
 	c.init(cfg, rng)
 	return c
 }
 
 // Reset returns the controller to the state NewController(cfg, rng) would
-// build, in place, retaining the role map's buckets and the role free list
-// (undelivered roles from the previous run are recycled into it). rng is
-// the sender's stream, already rewound by the caller.
+// build, in place, retaining the role ring's slot array. Undelivered roles
+// from the previous run are simply cleared — roles live by value, so there
+// is no free list whose order could vary (the map this replaces drained in
+// random iteration order, perturbing warm-trial allocation placement from
+// run to run). rng is the sender's stream, already rewound by the caller.
 func (c *Controller) Reset(cfg Config, rng *rand.Rand) {
-	for id, role := range c.roles {
-		c.roleFree = append(c.roleFree, role)
-		delete(c.roles, id)
-	}
+	c.roles.reset()
 	c.init(cfg, rng)
 }
 
 // init is the shared (re)initialization behind NewController and Reset; it
-// assumes c.roles exists and is empty.
+// assumes c.roles is empty.
 func (c *Controller) init(cfg Config, rng *rand.Rand) {
-	roles, free := c.roles, c.roleFree
+	roles := c.roles
 	*c = Controller{
-		cfg:      cfg,
-		rng:      rng,
-		state:    StateStarting,
-		rate:     cfg.InitialRate,
-		eps:      cfg.EpsMin,
-		roles:    roles,
-		roleFree: free,
+		cfg:   cfg,
+		rng:   rng,
+		state: StateStarting,
+		rate:  cfg.InitialRate,
+		eps:   cfg.EpsMin,
+		roles: roles,
 	}
 	if c.rate <= 0 {
 		c.rate = 2 * 1500 / 0.1 // 2 MSS per 100 ms if no hint given
 	}
-}
-
-// newRole returns a blank role record, recycling a delivered one when
-// available.
-func (c *Controller) newRole() *miRole {
-	if n := len(c.roleFree); n > 0 {
-		r := c.roleFree[n-1]
-		c.roleFree = c.roleFree[:n-1]
-		*r = miRole{}
-		return r
-	}
-	return &miRole{}
 }
 
 // State returns the current learning state.
@@ -171,8 +157,7 @@ func (c *Controller) pairCount() int {
 // NextMIRate assigns a rate to the MI with the given id and records its
 // role. Monitor calls this exactly once per MI, in order.
 func (c *Controller) NextMIRate(mi int64) float64 {
-	role := c.newRole()
-	c.roles[mi] = role
+	var role miRole
 	switch c.state {
 	case StateStarting:
 		// First MI runs at the initial rate; each subsequent MI doubles it.
@@ -180,8 +165,7 @@ func (c *Controller) NextMIRate(mi int64) float64 {
 			c.rate *= 2
 		}
 		c.haveStartRole = true
-		role.kind, role.rate = roleStarting, c.rate
-		return c.rate
+		role = miRole{kind: roleStarting, rate: c.rate}
 
 	case StateDecision:
 		if c.trialsLeft > 0 {
@@ -189,12 +173,12 @@ func (c *Controller) NextMIRate(mi int64) float64 {
 			sign := c.trialSigns[idx]
 			c.trialsLeft--
 			r := c.rate * (1 + float64(sign)*c.eps)
-			*role = miRole{kind: roleTrial, rate: r, sign: sign, trial: idx, round: c.round}
+			role = miRole{kind: roleTrial, rate: r, sign: sign, trial: idx, round: c.round}
+			c.roles.put(mi, role)
 			return r
 		}
 		// All trials scheduled: send at the base rate until results arrive.
-		role.kind, role.rate = roleFiller, c.rate
-		return c.rate
+		role = miRole{kind: roleFiller, rate: c.rate}
 
 	case StateAdjusting:
 		c.step++
@@ -203,11 +187,13 @@ func (c *Controller) NextMIRate(mi int64) float64 {
 		if c.rate < c.cfg.MinRate {
 			c.rate = c.cfg.MinRate
 		}
-		*role = miRole{kind: roleAdjust, rate: c.rate, step: c.step}
-		return c.rate
+		role = miRole{kind: roleAdjust, rate: c.rate, step: c.step}
+
+	default:
+		role = miRole{kind: roleFiller, rate: c.rate}
 	}
-	role.kind, role.rate = roleFiller, c.rate
-	return c.rate
+	c.roles.put(mi, role)
+	return role.rate
 }
 
 func (c *Controller) numTrials() int { return 2 * c.pairCount() }
@@ -238,13 +224,10 @@ func (c *Controller) enterDecision(resetEps bool) {
 
 // DeliverResult feeds an MI's finalized stats back into the state machine.
 func (c *Controller) DeliverResult(mi int64, stats MIStats) {
-	role := c.roles[mi]
-	if role == nil {
+	role, ok := c.roles.take(mi)
+	if !ok {
 		return
 	}
-	delete(c.roles, mi)
-	// The record is consumed below by value; recycle it for the next MI.
-	c.roleFree = append(c.roleFree, role)
 	u := c.cfg.Utility.Eval(stats)
 
 	switch role.kind {

@@ -1,0 +1,102 @@
+package core
+
+// roleSlot is one resident entry of the role ring: the MI's role record by
+// value plus a liveness flag (a by-value slot has no pointer to test).
+type roleSlot struct {
+	role miRole
+	live bool
+}
+
+// roleRing maps outstanding MI ids to their role records. It replaces a
+// map[int64]*miRole plus a free list of recycled records: MI ids are
+// assigned by the monitor in strictly increasing order from zero and results
+// are delivered about one RTT later, so outstanding ids always lie in one
+// small contiguous window [lo, hi). A role's slot is id mod capacity — one
+// indexed load instead of a map probe — records live by value so there is
+// nothing to allocate or recycle, and draining the ring on Reset is
+// trivially deterministic (the map iteration it replaces recycled records
+// in random order, which perturbed warm-trial allocation placement from run
+// to run).
+type roleRing struct {
+	slots  []roleSlot // power-of-two capacity
+	lo, hi int64      // resident window; empty iff lo == hi
+	n      int        // resident count
+}
+
+// put records the role for an MI id, overwriting any previous record.
+func (r *roleRing) put(id int64, role miRole) {
+	if r.slots == nil {
+		r.slots = make([]roleSlot, 16)
+	}
+	if r.n == 0 {
+		r.lo, r.hi = id, id+1
+	} else {
+		lo, hi := r.lo, r.hi
+		if id < lo {
+			lo = id
+		}
+		if id >= hi {
+			hi = id + 1
+		}
+		for hi-lo > int64(len(r.slots)) {
+			r.grow()
+		}
+		r.lo, r.hi = lo, hi
+	}
+	i := id & int64(len(r.slots)-1)
+	if !r.slots[i].live {
+		r.n++
+	}
+	r.slots[i] = roleSlot{role: role, live: true}
+}
+
+// take removes and returns the role recorded for an MI id, reporting whether
+// one was present.
+func (r *roleRing) take(id int64) (miRole, bool) {
+	if id < r.lo || id >= r.hi {
+		return miRole{}, false
+	}
+	i := id & int64(len(r.slots)-1)
+	s := r.slots[i]
+	if !s.live {
+		return miRole{}, false
+	}
+	r.slots[i] = roleSlot{}
+	r.n--
+	if r.n == 0 {
+		r.lo, r.hi = 0, 0
+		return s.role, true
+	}
+	// Advance the window edges past cleared slots so the span tracks the
+	// resident set instead of growing monotonically.
+	for r.lo < r.hi && !r.slots[r.lo&int64(len(r.slots)-1)].live {
+		r.lo++
+	}
+	for r.hi > r.lo && !r.slots[(r.hi-1)&int64(len(r.slots)-1)].live {
+		r.hi--
+	}
+	return s.role, true
+}
+
+// reset empties the ring in place, retaining its grown slot array. Unlike
+// the map drain it replaces, this is order-free and therefore identical on
+// every run.
+func (r *roleRing) reset() {
+	clear(r.slots)
+	r.lo, r.hi = 0, 0
+	r.n = 0
+}
+
+// grow doubles the capacity, re-placing resident entries under the new
+// modulus.
+func (r *roleRing) grow() {
+	old := r.slots
+	oldMask := int64(len(old) - 1)
+	r.slots = make([]roleSlot, 2*len(old))
+	mask := int64(len(r.slots) - 1)
+	for id := r.lo; id < r.hi; id++ {
+		if s := old[id&oldMask]; s.live {
+			r.slots[id&mask] = s
+		}
+	}
+}

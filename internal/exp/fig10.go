@@ -44,7 +44,11 @@ func RunFig10(scale float64, seed int64) *Report {
 			}
 		}
 	}
-	goodputs := RunPointsScratch(len(jobs), func(i int, ts *TrialScratch) float64 {
+	// Largest shape first: the 33-sender incast builds each worker's arena
+	// (flow pool, windows, packet chunks) to the sweep's high-water mark, so
+	// every smaller point reuses it warm instead of growing step by step.
+	order := descendingBy(len(jobs), func(i int) int { return jobs[i].n })
+	goodputs := RunPointsScratchOrdered(order, func(i int, ts *TrialScratch) float64 {
 		j := jobs[i]
 		return incastGoodput(ts, j.proto, j.n, j.sizeKB, seed+int64(j.trial)*131)
 	})

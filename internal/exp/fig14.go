@@ -30,8 +30,18 @@ func RunFig14(scale float64, seed int64) *Report {
 		Header: append([]string{"network"}, intHeaders(counts, " selfish")...),
 	}
 	// Two trials per (network, count) cell: rivals are n PCC flows, or n
-	// bundles of 10 parallel TCP flows.
-	tputs := RunPointsScratch(len(nets)*len(counts)*2, func(i int, ts *TrialScratch) float64 {
+	// bundles of 10 parallel TCP flows. Run the widest flow fans first so
+	// each worker's arena reaches its high-water flow count immediately and
+	// every narrower point rebuilds warm.
+	nPoints := len(nets) * len(counts) * 2
+	order := descendingBy(nPoints, func(i int) int {
+		width := 1
+		if i%2 == 1 {
+			width = 10
+		}
+		return counts[(i/2)%len(counts)] * width
+	})
+	tputs := RunPointsScratchOrdered(order, func(i int, ts *TrialScratch) float64 {
 		nw := nets[i/(len(counts)*2)]
 		n := counts[(i/2)%len(counts)]
 		buf := int(netem.Mbps(nw.RateMbps) * nw.RTT)

@@ -163,6 +163,10 @@ type Runner struct {
 	// rands recycles driver-requested RNG streams (NextRand) across trials.
 	rands   []*rand.Rand
 	randIdx int
+	// arena supplies pktState chunks to every sender this runner ever
+	// builds, so the per-window free-list refills of a many-flow trial come
+	// from a few shared blocks that outlive trials (see cc.PktArena).
+	arena cc.PktArena
 }
 
 // makeQueue builds the AQM a Path/LinkSpec asks for.
@@ -330,7 +334,10 @@ func (r *Runner) NextRand() *rand.Rand {
 		rr.Seed(seed)
 		return rr
 	}
-	rr := rand.New(rand.NewSource(seed))
+	// CachedSource memoizes post-seed states, so the re-seed path above is a
+	// state copy whenever a seed recurs (every trial of a sweep re-derives
+	// the same per-slot seeds from its root seed).
+	rr := rand.New(sim.NewCachedSource(seed))
 	r.rands = append(r.rands, rr)
 	r.randIdx = len(r.rands)
 	return rr
@@ -488,7 +495,9 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 			f.PCC.Reset(pcfg, algoSeed)
 			f.RS.Reset(f.PCC)
 		} else {
-			f.PCC = core.New(pcfg, rand.New(rand.NewSource(algoSeed)))
+			// CachedSource memoizes the post-seed state, so the Reset branch
+			// above rewinds this generator with a copy instead of a reseed.
+			f.PCC = core.New(pcfg, rand.New(sim.NewCachedSource(algoSeed)))
 			r.setRateSender(f, f.PCC)
 		}
 	case "sabul":
@@ -563,6 +572,7 @@ func (r *Runner) setRateSender(f *Flow, algo cc.RateAlgo) {
 	}
 	f.WS = nil
 	f.RS = cc.NewRateSender(r.Eng, f.ID, algo, r.sendData)
+	f.RS.SetArena(&r.arena)
 	f.ackSink = f.RS.OnAck
 }
 
@@ -575,6 +585,7 @@ func (r *Runner) setWindowSender(f *Flow, algo cc.WindowAlgo) {
 	}
 	f.RS = nil
 	f.WS = cc.NewWindowSender(r.Eng, f.ID, algo, r.sendData)
+	f.WS.SetArena(&r.arena)
 	f.ackSink = f.WS.OnAck
 }
 

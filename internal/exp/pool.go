@@ -4,6 +4,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -211,6 +212,39 @@ func RunPointsScratchWith[T any](workers, n int, fn func(point int, ts *TrialScr
 	out := make([]T, n)
 	RunTrialsScratchWith(workers, n, func(i int, ts *TrialScratch) { out[i] = fn(i, ts) })
 	return out
+}
+
+// RunTrialsScratchOrdered is RunTrialsScratch with an explicit execution
+// order: workers claim positions of order front to back and run
+// fn(order[k]). order must be a permutation of [0, len(order)). Because
+// every trial is self-contained and results are written to slots owned by
+// the trial index, execution order is placement policy only — reports stay
+// byte-identical under any permutation. Drivers use it to run a sweep's
+// largest shapes first, so each worker's arena grows to its high-water mark
+// on its first trials and every later, smaller shape rebuilds warm (a
+// smallest-first grid instead re-grows windows and flow pools at each step
+// up).
+func RunTrialsScratchOrdered(order []int, fn func(trial int, ts *TrialScratch)) {
+	RunTrialsScratchWith(Workers(), len(order), func(k int, ts *TrialScratch) { fn(order[k], ts) })
+}
+
+// RunPointsScratchOrdered is RunPointsScratch with an explicit execution
+// order (see RunTrialsScratchOrdered); out[i] still holds fn(i).
+func RunPointsScratchOrdered[T any](order []int, fn func(point int, ts *TrialScratch) T) []T {
+	out := make([]T, len(order))
+	RunTrialsScratchOrdered(order, func(i int, ts *TrialScratch) { out[i] = fn(i, ts) })
+	return out
+}
+
+// descendingBy returns a permutation of [0, n) that is stable-sorted by
+// descending size(i) — the canonical largest-shape-first order.
+func descendingBy(n int, size func(i int) int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return size(order[a]) > size(order[b]) })
+	return order
 }
 
 // TrialSeed derives a per-trial root seed from (rootSeed, trial) with a

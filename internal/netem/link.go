@@ -68,6 +68,11 @@ type Link struct {
 	// single self-rearming scheduler slot keeps the engine's heap at
 	// O(links), not O(in-flight packets) (see sim.Pipe).
 	pipe *sim.Pipe
+	// dt caches Queue's concrete type when it is a plain DropTail — the
+	// overwhelmingly common case — so the two per-packet queue operations
+	// (Enqueue in Send, Dequeue in transmitNext) dispatch directly and
+	// inline instead of going through the Queue interface.
+	dt *DropTail
 }
 
 // NewLink builds a link with the given queue and parameters. The rng drives
@@ -75,6 +80,7 @@ type Link struct {
 // LossRate.
 func NewLink(eng *sim.Engine, q Queue, rateBps, delay, lossRate float64, rng *rand.Rand) *Link {
 	l := &Link{Eng: eng, Queue: q, Rate: rateBps, Delay: delay, LossRate: lossRate, rng: WrapRng(rng)}
+	l.dt, _ = q.(*DropTail)
 	l.finishFn = func(a any) { l.finish(a.(*Packet)) }
 	// Sink is typically assigned after construction; the delivery paths
 	// read it at delivery time.
@@ -91,6 +97,7 @@ func NewLink(eng *sim.Engine, q Queue, rateBps, delay, lossRate float64, rng *ra
 // build. The caller resets the queue separately (capacity may change).
 func (l *Link) Reset(rateBps, delay, lossRate float64, seed int64) {
 	l.Rate, l.Delay, l.LossRate = rateBps, delay, lossRate
+	l.dt, _ = l.Queue.(*DropTail)
 	l.rng.Reseed(seed)
 	l.busy = false
 	l.delivered, l.lost = 0, 0
@@ -102,7 +109,13 @@ func (l *Link) Reset(rateBps, delay, lossRate float64, seed int64) {
 // dropped silently (the queue counts them).
 func (l *Link) Send(p *Packet) {
 	l.offeredBytes += int64(p.Size)
-	if !l.Queue.Enqueue(p, l.Eng.Now()) {
+	var ok bool
+	if l.dt != nil {
+		ok = l.dt.Enqueue(p, l.Eng.Now())
+	} else {
+		ok = l.Queue.Enqueue(p, l.Eng.Now())
+	}
+	if !ok {
 		l.Pool.Put(p)
 		return
 	}
@@ -114,7 +127,12 @@ func (l *Link) Send(p *Packet) {
 // transmitNext pulls the next packet from the queue and schedules its
 // serialization completion.
 func (l *Link) transmitNext() {
-	p := l.Queue.Dequeue(l.Eng.Now())
+	var p *Packet
+	if l.dt != nil {
+		p = l.dt.pop()
+	} else {
+		p = l.Queue.Dequeue(l.Eng.Now())
+	}
 	if p == nil {
 		l.busy = false
 		l.txBytes = 0

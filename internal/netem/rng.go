@@ -1,6 +1,10 @@
 package netem
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"pcc/internal/sim"
+)
 
 // Rng is a lazily materialized deterministic random stream for loss
 // processes. Seeding a math/rand generator fills a 607-word feedback
@@ -54,7 +58,9 @@ func (g *Rng) Reseed(seed int64) {
 // Float64 draws from the stream, materializing the generator on first use.
 func (g *Rng) Float64() float64 {
 	if g.r == nil {
-		g.r = rand.New(rand.NewSource(g.seed))
+		// The cached source makes later re-seeds of this stream a state
+		// copy; the stream itself is bit-identical to rand.NewSource's.
+		g.r = rand.New(sim.NewCachedSource(g.seed))
 	} else if g.stale {
 		g.r.Seed(g.seed)
 		g.stale = false

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// These tests pin the burst-dispatch rework: however events reach the
+// dispatcher — straight off the heap, promoted from a wheel slot, through a
+// pipe's self-rearming delivery slot, or via the pipe's shrinking-delay
+// engine fallback — the observable firing order is the engine-wide
+// (at, seq) total order, and Pending always equals the number of events
+// that will actually fire.
+
+// burstModel accumulates a reference model of a random workload: one record
+// per drawn sequence number, in draw order, so the expected firing order is
+// simply a stable sort by timestamp.
+type burstModel struct {
+	at   []float64
+	dead []bool
+}
+
+func (m *burstModel) add(at float64) int {
+	m.at = append(m.at, at)
+	m.dead = append(m.dead, false)
+	return len(m.at) - 1
+}
+
+// expected returns the ids of live records in (at, seq) order.
+func (m *burstModel) expected() []int {
+	ids := make([]int, 0, len(m.at))
+	for id := range m.at {
+		if !m.dead[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return m.at[ids[a]] < m.at[ids[b]] })
+	return ids
+}
+
+// TestBurstDispatchTotalOrder drives a seeded random workload through every
+// scheduling structure at once — heap events, wheel-banded events, stoppable
+// timers, two pipe trains (with naturally occurring shrinking-delay
+// fallbacks), same-instant ties, nested same-tick scheduling from inside
+// callbacks, and mid-run timer stops — and asserts the firing order equals
+// the model's (at, seq) total order.
+func TestBurstDispatchTotalOrder(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 424242} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			e := NewEngine()
+			var m burstModel
+			var fired []int
+
+			type liveTimer struct {
+				id int
+				tm *Timer
+			}
+			var timers []liveTimer
+			nested := 60
+			var rec func(id int)
+			rec = func(id int) {
+				fired = append(fired, id)
+				if nested > 0 && rng.Intn(6) == 0 {
+					// Same-tick nested event: lands in the running burst via
+					// batchInsert and must fire later this instant, in seq
+					// order.
+					nested--
+					nid := m.add(e.Now())
+					e.At(e.Now(), func() { rec(nid) })
+				}
+				if len(timers) > 0 && rng.Intn(8) == 0 {
+					// Mid-run stop of a strictly-future timer: its event is
+					// already placed (heap, wheel, or current batch tail) and
+					// must be skipped by the dead-check at execution.
+					k := rng.Intn(len(timers))
+					lt := timers[k]
+					if !m.dead[lt.id] && m.at[lt.id] > e.Now() {
+						lt.tm.Stop()
+						m.dead[lt.id] = true
+					}
+				}
+			}
+			pipeFn := func(a any) { rec(a.(int)) }
+			pa, pb := e.NewPipe(pipeFn), e.NewPipe(pipeFn)
+
+			// Dense sub-millisecond instants open the timing wheel and force
+			// heavy same-instant collisions across structures; the sparse far
+			// band keeps the heap in play past the wheel horizon.
+			instant := func() float64 {
+				if rng.Intn(10) == 0 {
+					return 1.0 + float64(rng.Intn(8))*0.25
+				}
+				return float64(rng.Intn(40)) * 0.0005
+			}
+			for i := 0; i < 500; i++ {
+				at := instant()
+				switch rng.Intn(5) {
+				case 0:
+					id := m.add(at)
+					e.At(at, func() { rec(id) })
+				case 1, 2:
+					id := m.add(at)
+					tm := e.At(at, func() { rec(id) })
+					if rng.Intn(5) == 0 {
+						tm.Stop()
+						m.dead[id] = true
+					} else {
+						timers = append(timers, liveTimer{id: id, tm: tm})
+					}
+				case 3:
+					// Random delays make some posts land before the pipe's
+					// tail, exercising the shrinking-delay engine fallback.
+					pa.Post(at, m.add(at))
+				case 4:
+					pb.Post(at, m.add(at))
+				}
+			}
+
+			setupLive := 0
+			for id := range m.at {
+				if !m.dead[id] {
+					setupLive++
+				}
+			}
+			if got := e.Pending(); got != setupLive {
+				t.Fatalf("Pending() = %d before Run, want %d live events", got, setupLive)
+			}
+			e.Run()
+
+			want := m.expected()
+			if len(fired) != len(want) {
+				t.Fatalf("%d events fired, want %d", len(fired), len(want))
+			}
+			for i := range want {
+				if fired[i] != want[i] {
+					t.Fatalf("firing order diverges at %d: got id %d (at=%g), want id %d (at=%g)",
+						i, fired[i], m.at[fired[i]], want[i], m.at[want[i]])
+				}
+			}
+		})
+	}
+}
+
+// TestPendingMatchesReality is the Pending-vs-reality property: after an
+// arbitrary seeded sequence of schedules, cancels, pipe posts and Resets,
+// Engine.Pending equals the number of events that actually fire. This
+// covers the subtle counting paths — the armed pipe head (counted once,
+// not twice), dead wheel entries, dead heap events, and batch remainders.
+func TestPendingMatchesReality(t *testing.T) {
+	for _, seed := range []int64{3, 99, 2026} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			e := NewEngine()
+			fires := 0
+			count := func() { fires++ }
+			countArg := func(any) { fires++ }
+			p := e.NewPipe(countArg)
+
+			for round := 0; round < 8; round++ {
+				var timers []*Timer
+				expect := 0
+				n := 50 + rng.Intn(200)
+				for i := 0; i < n; i++ {
+					// The clock keeps running across rounds; schedule
+					// relative to it.
+					d := float64(rng.Intn(60)) * 0.0004
+					switch rng.Intn(4) {
+					case 0:
+						e.At(e.Now()+d, count)
+						expect++
+					case 1:
+						timers = append(timers, e.After(d, count))
+						expect++
+					case 2:
+						e.PostArg(d, countArg, i)
+						expect++
+					case 3:
+						p.Post(d, i)
+						expect++
+					}
+				}
+				// Cancel a random subset before running: dead events linger
+				// in the heap and wheel and must be excluded from Pending.
+				for _, tm := range timers {
+					if rng.Intn(3) == 0 && tm.Stop() {
+						expect--
+					}
+				}
+				if got := e.Pending(); got != expect {
+					t.Fatalf("round %d: Pending() = %d, want %d", round, got, expect)
+				}
+				if rng.Intn(4) == 0 {
+					// Abandon the round: Reset must zero the count and the
+					// next round must still balance.
+					e.Reset(nil)
+					if got := e.Pending(); got != 0 {
+						t.Fatalf("round %d: Pending() = %d after Reset, want 0", round, got)
+					}
+					continue
+				}
+				fires = 0
+				e.Run()
+				if fires != expect {
+					t.Fatalf("round %d: %d events fired, want %d", round, fires, expect)
+				}
+				if got := e.Pending(); got != 0 {
+					t.Fatalf("round %d: Pending() = %d after Run, want 0", round, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDropPipeUnregisteredPanics pins that deregistering a pipe the engine
+// does not own is a programming error, not a silent no-op.
+func TestDropPipeUnregisteredPanics(t *testing.T) {
+	t.Parallel()
+	e1, e2 := NewEngine(), NewEngine()
+	p := e1.NewPipe(func(any) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DropPipe on a foreign pipe must panic")
+		}
+	}()
+	e2.DropPipe(p)
+}
+
+// TestDropPipeTwicePanics pins the same contract for double deregistration.
+func TestDropPipeTwicePanics(t *testing.T) {
+	t.Parallel()
+	e := NewEngine()
+	p := e.NewPipe(func(any) {})
+	e.DropPipe(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second DropPipe of the same pipe must panic")
+		}
+	}()
+	e.DropPipe(p)
+}

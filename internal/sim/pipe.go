@@ -29,6 +29,10 @@ type Pipe struct {
 	head  int
 	count int
 	armed bool
+	// slot is the pipe's own delivery event, re-armed in place for every
+	// head entry. Pinning it (see Event.pinned) keeps the per-delivery
+	// arm/fire cycle off the engine's event free list entirely.
+	slot Event
 }
 
 type pipeEntry struct {
@@ -45,6 +49,9 @@ func (e *Engine) NewPipe(fn func(any)) *Pipe {
 		panic("sim: nil pipe function")
 	}
 	p := &Pipe{e: e, fn: fn}
+	p.slot.pinned = true
+	p.slot.afn = pipeFire
+	p.slot.arg = p
 	e.pipes = append(e.pipes, p)
 	return p
 }
@@ -78,10 +85,17 @@ func (p *Pipe) Post(delay float64, arg any) {
 
 // arm schedules the pipe's delivery slot at the head entry's (at, seq).
 // Re-arming with a stored — hence older — seq is safe: the heap orders by
-// (at, seq), and the head's timestamp is never in the engine's past.
+// (at, seq), and the head's timestamp is never in the engine's past. The
+// slot is the pipe's own pinned Event, refreshed in place: by the time arm
+// runs the previous arming has always been popped and released (release
+// precedes every callback), so no scheduling structure still references it.
 func (p *Pipe) arm() {
 	head := &p.buf[p.head]
-	p.e.scheduleSeq(head.at, head.seq, pipeFire, p)
+	ev := &p.slot
+	ev.at = head.at
+	ev.seq = head.seq
+	ev.dead = false
+	p.e.place(ev)
 	p.armed = true
 }
 

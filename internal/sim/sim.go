@@ -41,6 +41,10 @@ type Event struct {
 	afn  func(any)
 	arg  any
 	dead bool
+	// pinned marks an event whose storage is owned by another object (a
+	// Pipe's embedded delivery slot): release bumps its generation but never
+	// hands it to the free list, so the owner can re-arm it in place.
+	pinned bool
 }
 
 // Timer is a handle to a scheduled event that can be cancelled or
@@ -186,6 +190,18 @@ type Engine struct {
 	free   []*Event
 	nRun   uint64
 	halted bool
+
+	// batch is the burst-dispatch scratch: every live event sharing the
+	// earliest pending timestamp is popped here in one scheduler probe and
+	// executed in seq order without re-probing the wheel or heap between
+	// events (see Run). Events scheduled *during* the burst at exactly the
+	// burst timestamp join the batch in place instead of round-tripping
+	// through the heap; batchPos is the index of the entry currently
+	// executing. batch is empty whenever the engine is not inside Run /
+	// RunUntil.
+	batch    []*Event
+	batchPos int
+	inBurst  bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -218,6 +234,9 @@ func (e *Engine) alloc() *Event {
 // was not already being retained.
 func (e *Engine) release(ev *Event) {
 	ev.gen++
+	if ev.pinned {
+		return
+	}
 	e.free = append(e.free, ev)
 }
 
@@ -263,11 +282,22 @@ func (e *Engine) scheduleSeq(at Time, seq uint64, afn func(any), arg any) {
 // than bucketing plus a slot flush. Placement is purely a cost policy — the
 // heap decides final (at, seq) order either way (see wheel.go) — so the
 // threshold cannot change any simulation result.
-const wheelMinHeap = 32
+const wheelMinHeap = 8
 
 // place routes a ready event to the timing wheel when it lands in the
 // bucketable band, else to the heap.
 func (e *Engine) place(ev *Event) {
+	if e.inBurst && ev.at == e.now {
+		// Scheduled during a burst at exactly the burst timestamp: it belongs
+		// to the batch being executed, so insert it in seq position directly
+		// instead of round-tripping through the heap. Fresh sequence numbers
+		// (every Post/After/Rearm) exceed all batch seqs and append; only a
+		// Pipe re-arming its delivery slot with a stored older seq has to
+		// walk backward, and never past the executing position (the pipe's
+		// next head always outranks the entry that just fired).
+		e.batchInsert(ev)
+		return
+	}
 	if len(e.events) < wheelMinHeap || ev.at <= e.events[0].at {
 		// Near-empty engine, or an event earlier than everything already
 		// queued: it pops before anything could accumulate above it, so
@@ -405,6 +435,18 @@ func (e *Engine) Reset(reclaim func(arg any)) {
 		}
 		p.head, p.count, p.armed = 0, 0, false
 	}
+	if e.inBurst {
+		// Reset issued from inside a burst callback: drop the unexecuted
+		// remainder of the batch so runBatch's loop terminates cleanly.
+		for i := e.batchPos + 1; i < len(e.batch); i++ {
+			ev := e.batch[i]
+			if reclaim != nil && ev.arg != nil && !ev.dead {
+				reclaim(ev.arg)
+			}
+			e.release(ev)
+		}
+		e.batch = e.batch[:e.batchPos+1]
+	}
 	e.now = 0
 	e.nextSeq = 0
 	e.nRun = 0
@@ -415,6 +457,8 @@ func (e *Engine) Reset(reclaim func(arg any)) {
 // stage (a torn-down route hop) does not accumulate in the engine's pipe
 // list across topology re-specs. The pipe must be idle — Reset the engine
 // first; dropping a pipe with queued entries would corrupt Pending.
+// Dropping a pipe the engine does not own panics: a silent miss would hide
+// respec bugs where a torn-down hop's pipe leaks into the next trial.
 func (e *Engine) DropPipe(p *Pipe) {
 	if p.count > 0 || p.armed {
 		panic("sim: DropPipe on a non-empty pipe (Reset the engine first)")
@@ -428,6 +472,7 @@ func (e *Engine) DropPipe(p *Pipe) {
 			return
 		}
 	}
+	panic("sim: DropPipe on a pipe not registered with this engine")
 }
 
 // Pending returns the number of live queued events, wherever they reside:
@@ -455,7 +500,129 @@ func (e *Engine) Pending() int {
 			n-- // the armed head is already counted as a heap/wheel event
 		}
 	}
+	if e.inBurst {
+		// Called from inside a burst callback: the batch entries past the
+		// executing position are pending too (the executing entry itself is
+		// already released).
+		for i := e.batchPos + 1; i < len(e.batch); i++ {
+			if !e.batch[i].dead {
+				n++
+			}
+		}
+	}
 	return n
+}
+
+// runAt dispatches every live event at t0, the timestamp peekLive just
+// returned (so the heap top is live and at t0). The wheel needs no further
+// probe: peekLive has already flushed it far enough that every remaining
+// wheel event is strictly later than t0 (see wheel.go's slack argument), so
+// a same-timestamp run can only live at the heap top. When the top event is
+// alone at t0 — the overwhelmingly common case outside synchronized packet
+// trains — it dispatches inline without touching the batch scratch; larger
+// runs are popped into the batch (successive pops from the (at, seq)-ordered
+// heap arrive in seq order, releasing cancelled events on the way) and
+// executed by runBatch.
+func (e *Engine) runAt(t0 Time) {
+	ev := e.heapPop()
+	if len(e.events) == 0 || e.events[0].at != t0 {
+		// Alone at t0: dispatch inline, skipping batch collection — but keep
+		// the burst machinery armed (batchPos -1 = nothing executing) so any
+		// same-instant events the callback schedules still chain into the
+		// batch instead of round-tripping through the heap; a
+		// delivery→ack→forward cascade fires entirely at one instant.
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		e.release(ev)
+		e.now = t0
+		e.nRun++
+		e.batch = e.batch[:0]
+		e.batchPos = -1
+		e.inBurst = true
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
+		if len(e.batch) == 0 {
+			e.inBurst = false
+			return
+		}
+		if e.halted {
+			// Halt stops after the event that called it: hand the chained
+			// remainder back to the heap, exactly as runBatch does.
+			for _, b := range e.batch {
+				e.heapPush(b)
+			}
+			e.batch = e.batch[:0]
+			e.inBurst = false
+			return
+		}
+		e.runBatch()
+		return
+	}
+	e.batch = append(e.batch[:0], ev)
+	for len(e.events) > 0 && e.events[0].at == t0 {
+		next := e.heapPop()
+		if next.dead {
+			e.release(next)
+			continue
+		}
+		e.batch = append(e.batch, next)
+	}
+	e.now = t0
+	e.runBatch()
+}
+
+// batchInsert places an event scheduled during the current burst (at exactly
+// the burst timestamp) into seq position within the batch, strictly after
+// the executing entry. The common case — a fresh sequence number larger than
+// everything queued — is a pure append.
+func (e *Engine) batchInsert(ev *Event) {
+	b := append(e.batch, ev)
+	i := len(b) - 1
+	for i > e.batchPos+1 && b[i-1].seq > ev.seq {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = ev
+	e.batch = b
+}
+
+// runBatch executes the collected batch in index (hence seq) order without
+// re-probing the scheduler between events. Semantics match per-event
+// dispatch exactly: each entry is dead-checked at execution time, not
+// collection time, so a Timer.Stop issued by an earlier same-instant
+// callback still cancels a later one; each event is released immediately
+// before its callback runs, exactly as step does; Halt mid-batch pushes the
+// unexecuted remainder back into the heap.
+func (e *Engine) runBatch() {
+	e.inBurst = true
+	for e.batchPos = 0; e.batchPos < len(e.batch); e.batchPos++ {
+		ev := e.batch[e.batchPos]
+		if ev.dead {
+			e.release(ev)
+			continue
+		}
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		e.release(ev)
+		e.nRun++
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
+		if e.halted {
+			for i := e.batchPos + 1; i < len(e.batch); i++ {
+				e.heapPush(e.batch[i])
+			}
+			break
+		}
+	}
+	// Entries keep their stale pointers until overwritten: events are
+	// engine-pooled, so the pin is free and skipping the clears avoids a
+	// write barrier per slot.
+	e.batch = e.batch[:0]
+	e.inBurst = false
 }
 
 // step executes the earliest event. It reports false when no live event
@@ -480,24 +647,82 @@ func (e *Engine) step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or Halt is called.
+// Run executes events until the queue drains or Halt is called. The loop
+// dispatches in bursts: one scheduler probe finds the earliest live
+// timestamp, then every event sharing it is popped and executed in seq
+// order without re-probing the wheel or heap in between (same-instant packet
+// trains — an incast tick, a saturated link's dequeue+delivery+feed cluster
+// — are the common case at high BDP). Execution order is identical to
+// per-event dispatch: the batch preserves the engine-wide (at, seq) total
+// order, and events scheduled during the burst at the burst instant join
+// the batch in seq position (see place).
 func (e *Engine) Run() {
 	e.halted = false
-	for !e.halted && e.step() {
+	for !e.halted {
+		// Wheel-empty fast path: with nothing bucketed, probing the
+		// scheduler is a single comparison, so batching would amortize
+		// nothing — dispatch straight off the heap as before.
+		if e.wheel.count == 0 {
+			if len(e.events) == 0 {
+				return
+			}
+			if ev := e.events[0].ev; !ev.dead {
+				e.heapPop()
+				at, fn, afn, arg := ev.at, ev.fn, ev.afn, ev.arg
+				e.release(ev)
+				e.now = at
+				e.nRun++
+				if fn != nil {
+					fn()
+				} else {
+					afn(arg)
+				}
+				continue
+			}
+		}
+		// Wheel active: a live heap top strictly below the wheel cursor
+		// needs no flush — the probe is two comparisons, done inline. The
+		// slow probe only runs when the wheel actually has to rotate.
+		if len(e.events) > 0 {
+			it := &e.events[0]
+			if !it.ev.dead && e.wheel.cur > tickOf(it.at)+1 {
+				e.runAt(it.at)
+				continue
+			}
+		}
+		top := e.peekLiveSlow()
+		if top == nil {
+			return
+		}
+		e.runAt(top.at)
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline and then advances the
 // clock to exactly deadline. Events scheduled after the deadline remain
 // queued, so simulations can be resumed with further RunUntil calls.
+// Dispatch is burst-mode, as in Run.
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted {
-		next := e.peekLive()
+		// Inline probe, as in Run: a live heap top that is provably the
+		// earliest pending event (wheel empty or strictly above it) settles
+		// the deadline comparison without the slow probe.
+		if len(e.events) > 0 {
+			it := &e.events[0]
+			if !it.ev.dead && (e.wheel.count == 0 || e.wheel.cur > tickOf(it.at)+1) {
+				if it.at > deadline {
+					break
+				}
+				e.runAt(it.at)
+				continue
+			}
+		}
+		next := e.peekLiveSlow()
 		if next == nil || next.at > deadline {
 			break
 		}
-		e.step()
+		e.runAt(next.at)
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -220,6 +220,21 @@ func (e *Engine) wheelFlushNext() {
 // is drained). The one-tick slack absorbs tickOf's floor-overshoot (see the
 // package comment above).
 func (e *Engine) peekLive() *Event {
+	// Fast path, small enough to inline into the run loops: a live heap top
+	// that is provably earlier than every wheel event (or the wheel is
+	// empty). This is the steady state of pipe-dominated workloads, where
+	// the top few events churn in the heap while the wheel holds the far
+	// timers.
+	if len(e.events) > 0 {
+		it := &e.events[0]
+		if !it.ev.dead && (e.wheel.count == 0 || e.wheel.cur > tickOf(it.at)+1) {
+			return it.ev
+		}
+	}
+	return e.peekLiveSlow()
+}
+
+func (e *Engine) peekLiveSlow() *Event {
 	for {
 		for len(e.events) > 0 && e.events[0].ev.dead {
 			e.release(e.heapPop())
