@@ -10,6 +10,8 @@
 package pccbench
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -240,9 +242,33 @@ func BenchmarkFig10IncastSequential(b *testing.B) {
 }
 
 func BenchmarkFig10IncastParallel(b *testing.B) {
+	// Both axes of the parallelism budget (PCC_PAR trial workers ×
+	// PCC_SHARDS intra-trial shards) are reported so recorded runs
+	// (BENCH_*.json) say what they measured.
 	b.ReportMetric(float64(exp.Workers()), "workers")
+	b.ReportMetric(float64(exp.Shards()), "shards")
 	for i := 0; i < b.N; i++ {
 		exp.RunFig10(benchScale, benchSeed)
+	}
+}
+
+// BenchmarkWideChain measures the sharded conservative engine inside a single
+// trial: the same 12-hop widechain trial at shards=1 (one engine) and
+// shards=NumCPU (one engine per shard, null-message-free windowed sync).
+// The reported goodput is byte-identical across sub-benchmarks — only the
+// wall-clock may differ. On an N-core machine the sharded run should
+// approach min(N, shards) times faster once per-round sync is amortized.
+func BenchmarkWideChain(b *testing.B) {
+	for _, shards := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var ts exp.TrialScratch
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				goodput = exp.RunWideChainTrial(&ts, shards, benchSeed)
+			}
+			b.ReportMetric(float64(shards), "shards")
+			b.ReportMetric(goodput, "long_Mbps")
+		})
 	}
 }
 

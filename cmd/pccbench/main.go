@@ -6,6 +6,7 @@
 //	pccbench -exp fig7            # one experiment at default scale
 //	pccbench -exp all -scale 1.0  # every experiment at paper-duration scale
 //	pccbench -exp fig10 -par 8    # pin the worker pool to 8 goroutines
+//	pccbench -exp widechain -shards 4  # shard each trial's engine 4 ways
 //	pccbench -list
 //
 // Scale shortens experiment durations/trial counts proportionally (default
@@ -13,7 +14,11 @@
 // scale. Seeds make every run reproducible: each experiment fans its trials
 // out across a worker pool (bounded by -par, the PCC_PAR environment
 // variable, or GOMAXPROCS, in that order) and produces byte-identical
-// tables at any worker count.
+// tables at any worker count. -shards (or PCC_SHARDS) additionally caps how
+// many conservative engine shards a single trial may use (experiments opt
+// in per topology; see internal/sim.ShardGroup) — reports are byte-identical
+// at any shard count too, so the two knobs budget cores between
+// across-trial and within-trial parallelism without affecting results.
 package main
 
 import (
@@ -27,6 +32,28 @@ import (
 	"pcc/internal/exp"
 )
 
+// Flags are package-level so tests can drive the knob plumbing through the
+// real flag instances (flag.Set + applyKnobs) without spawning a process.
+var (
+	id         = flag.String("exp", "", "experiment id (figN, table1, loss50, theory) or 'all'")
+	scale      = flag.Float64("scale", 0.2, "duration/trial scale in (0,1]; 1.0 = paper durations")
+	seed       = flag.Int64("seed", 42, "root RNG seed")
+	par        = flag.Int("par", 0, "worker goroutines per experiment (0 = auto: PCC_PAR env, then GOMAXPROCS; 1 = sequential)")
+	shards     = flag.Int("shards", 0, "max conservative engine shards per trial (0 = auto: PCC_SHARDS env, then 1)")
+	list       = flag.Bool("list", false, "list experiment ids and exit")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+)
+
+// applyKnobs pushes the parsed parallelism flags into exp's process-wide
+// overrides. Every driver fans its independent trials out over exp's worker
+// pool and shards opted-in topologies across engines; results are
+// bit-identical at any worker or shard count.
+func applyKnobs() {
+	exp.SetWorkers(*par)
+	exp.SetShards(*shards)
+}
+
 func main() {
 	// Exit via a return code so the profile-flushing defers in run always
 	// execute — os.Exit in the body would truncate an in-flight CPU profile
@@ -35,13 +62,6 @@ func main() {
 }
 
 func run() int {
-	id := flag.String("exp", "", "experiment id (figN, table1, loss50, theory) or 'all'")
-	scale := flag.Float64("scale", 0.2, "duration/trial scale in (0,1]; 1.0 = paper durations")
-	seed := flag.Int64("seed", 42, "root RNG seed")
-	par := flag.Int("par", 0, "worker goroutines per experiment (0 = auto: PCC_PAR env, then GOMAXPROCS; 1 = sequential)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	// Profiling hooks so hot-path regressions can be chased on the real
@@ -75,9 +95,7 @@ func run() int {
 		}()
 	}
 
-	// Every driver fans its independent trials out over exp's worker pool;
-	// results are bit-identical at any worker count.
-	exp.SetWorkers(*par)
+	applyKnobs()
 
 	if *list || *id == "" {
 		fmt.Println("experiments:")

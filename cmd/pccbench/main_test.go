@@ -1,6 +1,7 @@
 package main
 
 import (
+	"flag"
 	"slices"
 	"testing"
 
@@ -22,6 +23,7 @@ func TestListGolden(t *testing.T) {
 		"revpath",
 		"table1",
 		"theory",
+		"widechain",
 	}
 	got := exp.IDs()
 	if !slices.Equal(got, want) {
@@ -29,5 +31,34 @@ func TestListGolden(t *testing.T) {
 	}
 	if !slices.IsSorted(got) {
 		t.Fatalf("exp.IDs() not sorted: %v", got)
+	}
+}
+
+// TestShardsFlag pins the -shards → exp.SetShards plumbing through the real
+// flag instances: after applyKnobs, exp.Shards() must reflect the flag, and
+// resetting it must restore the default resolution order (env, then 1).
+func TestShardsFlag(t *testing.T) {
+	defer func() {
+		exp.SetShards(0)
+		exp.SetWorkers(0)
+		if err := flag.Set("shards", "0"); err != nil {
+			t.Error(err)
+		}
+		if err := flag.Set("par", "0"); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := flag.Set("shards", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := flag.Set("par", "2"); err != nil {
+		t.Fatal(err)
+	}
+	applyKnobs()
+	if got := exp.Shards(); got != 3 {
+		t.Errorf("after -shards 3, exp.Shards() = %d, want 3", got)
+	}
+	if got := exp.Workers(); got != 2 {
+		t.Errorf("after -par 2, exp.Workers() = %d, want 2", got)
 	}
 }

@@ -46,6 +46,16 @@ type TopologySpec struct {
 	Links []LinkSpec
 	// Seed roots all randomness for the run.
 	Seed int64
+	// Shards > 1 asks the runner to partition the topology's nodes across
+	// that many engines running in conservative lockstep (see
+	// sim.ShardGroup) so one trial uses several cores. It is a ceiling: the
+	// partitioner merges zero-delay neighborhoods and may use fewer shards,
+	// or decline entirely (falling back to the classic single engine).
+	// Results are byte-identical at every shard count; the experiment suite
+	// asserts it. Sharded runners require all flows to be added before Run
+	// and every flow's delay hops to live on one shard (see
+	// netem.Topology.Shard).
+	Shards int
 }
 
 // PathSpec describes the shared bottleneck of a dumbbell.
@@ -147,6 +157,14 @@ type Runner struct {
 	// PktPool recycles packets across all flows of this runner.
 	PktPool *netem.PacketPool
 
+	// Group is the conservative shard group driving a sharded topology
+	// runner; nil when the trial runs on one engine. Engines/Pools always
+	// hold one entry per shard (a single entry — Eng/PktPool — when
+	// unsharded), so flow placement code indexes them uniformly.
+	Group   *sim.ShardGroup
+	Engines []*sim.Engine
+	Pools   []*netem.PacketPool
+
 	// flowPool holds every Flow ever created on this runner, by id, so a
 	// re-specced trial reuses flow k's receiver, sender window storage and
 	// PCC state instead of rebuilding them.
@@ -155,18 +173,24 @@ type Runner struct {
 	sendData func(*netem.Packet)
 	sendAck  func(*netem.Packet)
 	// reclaim recycles in-flight packets back into PktPool when the engine
-	// is reset between trials.
-	reclaim func(arg any)
+	// is reset between trials; reclaims holds the per-shard variants used
+	// by ShardGroup.Reset (reclaims[0] == reclaim).
+	reclaim  func(arg any)
+	reclaims []func(arg any)
 	// linkShape remembers the TopologySpec link structure this runner was
 	// built from (topology runners only), for respec shape verification.
 	linkShape []LinkSpec
+	// reqShards is the TopologySpec.Shards this runner was built under;
+	// a different request forces a rebuild (engines are pinned at build).
+	reqShards int
 	// rands recycles driver-requested RNG streams (NextRand) across trials.
 	rands   []*rand.Rand
 	randIdx int
-	// arena supplies pktState chunks to every sender this runner ever
-	// builds, so the per-window free-list refills of a many-flow trial come
-	// from a few shared blocks that outlive trials (see cc.PktArena).
-	arena cc.PktArena
+	// arenas supply pktState chunks to every sender this runner ever
+	// builds — one arena per shard, so refills never cross shard
+	// goroutines. The slice is sized at construction and never reallocated
+	// (senders hold interior pointers). See cc.PktArena.
+	arenas []cc.PktArena
 }
 
 // makeQueue builds the AQM a Path/LinkSpec asks for.
@@ -235,23 +259,56 @@ func NewRunner(p PathSpec) *Runner {
 	pool := &netem.PacketPool{}
 	net.UsePool(pool)
 	r := &Runner{Eng: eng, Seeds: seeds, Net: net, Topo: net.Topo, Path: p, PktPool: pool}
+	r.Engines = []*sim.Engine{eng}
+	r.Pools = []*netem.PacketPool{pool}
+	r.arenas = make([]cc.PktArena, 1)
 	r.bindSinks()
 	return r
 }
 
 // NewTopologyRunner builds a runner over a general network graph. Flows
-// added to it must carry explicit FwdRoute/RevRoute hop chains.
+// added to it must carry explicit FwdRoute/RevRoute hop chains. When
+// ts.Shards > 1 and the node graph partitions into positive-delay-separated
+// clusters, the trial runs sharded across a sim.ShardGroup; otherwise it
+// falls back to the classic single engine. Either way, seeds are drawn in
+// the same order, so results never depend on the shard count.
 func NewTopologyRunner(ts TopologySpec) *Runner {
-	eng := sim.NewEngine()
 	seeds := sim.NewSeeds(ts.Seed)
-	topo := netem.NewTopology(eng)
-	pool := &netem.PacketPool{}
-	topo.UsePool(pool)
+	r := &Runner{Seeds: seeds, Path: PathSpec{Seed: ts.Seed}, reqShards: ts.Shards}
+	if ts.Shards > 1 {
+		edges := make([]netem.Edge, len(ts.Links))
+		for i, ls := range ts.Links {
+			edges[i] = netem.Edge{From: ls.From, To: ls.To, Delay: ls.Delay}
+		}
+		if assign, n, lookahead := netem.PartitionNodes(edges, ts.Shards); n > 1 {
+			group := sim.NewShardGroup(n, lookahead)
+			pools := make([]*netem.PacketPool, n)
+			engines := make([]*sim.Engine, n)
+			for i := range pools {
+				pools[i] = &netem.PacketPool{}
+				engines[i] = group.Engine(i)
+			}
+			topo := netem.NewTopology(group.Engine(0))
+			topo.Shard(group, assign, pools)
+			r.Group, r.Engines, r.Pools, r.Topo = group, engines, pools, topo
+		}
+	}
+	if r.Topo == nil {
+		eng := sim.NewEngine()
+		topo := netem.NewTopology(eng)
+		pool := &netem.PacketPool{}
+		topo.UsePool(pool)
+		r.Engines = []*sim.Engine{eng}
+		r.Pools = []*netem.PacketPool{pool}
+		r.Topo = topo
+	}
+	r.Eng = r.Engines[0]
+	r.PktPool = r.Pools[0]
+	r.arenas = make([]cc.PktArena, len(r.Engines))
 	for _, ls := range ts.Links {
-		topo.AddLink(ls.Name, ls.From, ls.To, makeQueue(ls.QueueKind, ls.BufBytes),
+		r.Topo.AddLink(ls.Name, ls.From, ls.To, makeQueue(ls.QueueKind, ls.BufBytes),
 			netem.Mbps(ls.RateMbps), ls.Delay, ls.Loss, seeds.NextRand())
 	}
-	r := &Runner{Eng: eng, Seeds: seeds, Topo: topo, Path: PathSpec{Seed: ts.Seed}, PktPool: pool}
 	r.linkShape = append(r.linkShape, ts.Links...)
 	r.bindSinks()
 	return r
@@ -261,12 +318,16 @@ func NewTopologyRunner(ts TopologySpec) *Runner {
 func (r *Runner) bindSinks() {
 	r.sendData = r.Topo.SendData
 	r.sendAck = r.Topo.SendAck
-	pool := r.PktPool
-	r.reclaim = func(arg any) {
-		if p, ok := arg.(*netem.Packet); ok {
-			pool.Put(p)
+	r.reclaims = make([]func(any), len(r.Pools))
+	for i, pool := range r.Pools {
+		pool := pool
+		r.reclaims[i] = func(arg any) {
+			if p, ok := arg.(*netem.Packet); ok {
+				pool.Put(p)
+			}
 		}
 	}
+	r.reclaim = r.reclaims[0]
 }
 
 // respecDumbbell rewinds a cached dumbbell runner for a new trial: engine
@@ -296,7 +357,7 @@ func (r *Runner) respecDumbbell(p PathSpec) bool {
 // reports false when the link structure (names, endpoints, queue kinds)
 // differs from the cached build.
 func (r *Runner) respecTopology(ts TopologySpec) bool {
-	if r.Net != nil || len(r.linkShape) != len(ts.Links) {
+	if r.Net != nil || len(r.linkShape) != len(ts.Links) || r.reqShards != ts.Shards {
 		return false
 	}
 	for i, ls := range ts.Links {
@@ -305,7 +366,15 @@ func (r *Runner) respecTopology(ts TopologySpec) bool {
 			return false
 		}
 	}
-	r.Eng.Reset(r.reclaim)
+	if r.Group != nil {
+		r.Group.Reset(r.reclaims)
+		// Packets migrate between shards during a run (recycled where they
+		// die, not where they were allocated), so redistribute the parked
+		// spares to keep warm trials allocation-free.
+		netem.RebalancePools(r.Pools)
+	} else {
+		r.Eng.Reset(r.reclaim)
+	}
 	r.Seeds.Reset(ts.Seed)
 	for _, ls := range ts.Links {
 		l := r.Topo.LinkByName(ls.Name)
@@ -431,6 +500,15 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	if pktSize <= 0 {
 		pktSize = cc.MSS
 	}
+	// Place the flow's endpoints: the sender lives where its data packets
+	// are injected (the forward route's entry shard), the receiver where
+	// they are delivered. Unsharded runners have a single shard 0.
+	sShard, rShard := 0, 0
+	if r.Group != nil && topoFlow {
+		sShard, rShard = r.Topo.RouteEnds(spec.FwdRoute)
+	}
+	sEng, rEng := r.Engines[sShard], r.Engines[rShard]
+	sPool, rPool := r.Pools[sShard], r.Pools[rShard]
 
 	// Acquire the flow handle: recycled from a previous trial on this
 	// runner, or fresh. The receiver is protocol-agnostic and always reused.
@@ -440,10 +518,12 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		f.Spec = spec
 		f.DoneAt = -1
 		f.Recv.Reset()
+		f.Recv.Eng = rEng
+		f.Recv.Pool = rPool
 	} else {
 		f = &Flow{ID: id, Spec: spec, DoneAt: -1}
-		f.Recv = cc.NewReceiver(r.Eng, id)
-		f.Recv.Pool = r.PktPool
+		f.Recv = cc.NewReceiver(rEng, id)
+		f.Recv.Pool = rPool
 		f.Recv.SendAck = r.sendAck
 		f.dataSink = f.Recv.OnData
 		f.onDone = func(now float64) { f.DoneAt = now }
@@ -498,7 +578,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 			// CachedSource memoizes the post-seed state, so the Reset branch
 			// above rewinds this generator with a copy instead of a reseed.
 			f.PCC = core.New(pcfg, rand.New(sim.NewCachedSource(algoSeed)))
-			r.setRateSender(f, f.PCC)
+			r.setRateSender(f, f.PCC, sEng)
 		}
 	case "sabul":
 		hint := spec.CapacityHint
@@ -509,12 +589,12 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 			panic("exp: sabul on a link-less route needs CapacityHint")
 		}
 		f.PCC = nil
-		r.setRateSender(f, baseline.NewSabul(hint))
+		r.setRateSender(f, baseline.NewSabul(hint), sEng)
 	case "pcp":
 		f.PCC = nil
-		r.setRateSender(f, baseline.NewPCP(0))
+		r.setRateSender(f, baseline.NewPCP(0), sEng)
 	case "pacing":
-		r.setWindowSender(f, tcp.NewReno())
+		r.setWindowSender(f, tcp.NewReno(), sEng)
 		f.WS.Paced = true
 		f.WS.RTTHint = rtt
 	default:
@@ -522,8 +602,18 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		if err != nil {
 			panic(err)
 		}
-		r.setWindowSender(f, algo)
+		r.setWindowSender(f, algo, sEng)
 		f.WS.RTTHint = rtt
+	}
+	// Pin the sender to its shard: the engine its pacing/window timers run
+	// on and the arena its pktState refills draw from (recycled senders may
+	// move shards when a new trial routes the flow differently).
+	if f.RS != nil {
+		f.RS.Eng = sEng
+		f.RS.SetArena(&r.arenas[sShard])
+	} else {
+		f.WS.Eng = sEng
+		f.WS.SetArena(&r.arenas[sShard])
 	}
 	if f.WS != nil && capacity > 0 {
 		// Socket-buffer-like clamp: 8x the path BDP, floored generously so
@@ -535,7 +625,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 
 	cfg := netem.FlowConfig{FwdDelay: rtt / 2, RevDelay: rtt / 2, RevLoss: spec.RevLoss}
 	if f.RS != nil {
-		f.RS.Pool = r.PktPool
+		f.RS.Pool = sPool
 		f.RS.PktSize = pktSize
 		// Keep the sender-side floor at 2 packets/s in the flow's own
 		// size, matching the algorithms' scaled MinRate (for the default
@@ -546,7 +636,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		f.RS.TraceRate = spec.TraceRate
 		f.RS.OnDone = f.onDone
 	} else {
-		f.WS.Pool = r.PktPool
+		f.WS.Pool = sPool
 		f.WS.PktSize = pktSize
 		f.WS.FlowPackets = flowPkts
 		f.WS.OnDone = f.onDone
@@ -558,34 +648,33 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	} else {
 		r.Net.RespecFlow(id, cfg, r.Seeds, f.dataSink, f.ackSink)
 	}
-	r.Eng.At(spec.StartAt, f.startFn)
+	sEng.At(spec.StartAt, f.startFn)
 	return f
 }
 
 // setRateSender installs a rate-based sender for the flow: the previous
 // RateSender is reset in place when one exists, else a fresh one replaces
-// whatever sender category the flow had before.
-func (r *Runner) setRateSender(f *Flow, algo cc.RateAlgo) {
+// whatever sender category the flow had before. The caller pins Eng and the
+// arena afterwards (both may change with the flow's shard placement).
+func (r *Runner) setRateSender(f *Flow, algo cc.RateAlgo, eng *sim.Engine) {
 	if f.RS != nil {
 		f.RS.Reset(algo)
 		return
 	}
 	f.WS = nil
-	f.RS = cc.NewRateSender(r.Eng, f.ID, algo, r.sendData)
-	f.RS.SetArena(&r.arena)
+	f.RS = cc.NewRateSender(eng, f.ID, algo, r.sendData)
 	f.ackSink = f.RS.OnAck
 }
 
 // setWindowSender is setRateSender's window-based counterpart.
-func (r *Runner) setWindowSender(f *Flow, algo cc.WindowAlgo) {
+func (r *Runner) setWindowSender(f *Flow, algo cc.WindowAlgo, eng *sim.Engine) {
 	f.PCC = nil
 	if f.WS != nil {
 		f.WS.Reset(algo)
 		return
 	}
 	f.RS = nil
-	f.WS = cc.NewWindowSender(r.Eng, f.ID, algo, r.sendData)
-	f.WS.SetArena(&r.arena)
+	f.WS = cc.NewWindowSender(eng, f.ID, algo, r.sendData)
 	f.ackSink = f.WS.OnAck
 }
 
@@ -606,8 +695,15 @@ func (r *Runner) LinkStatsNotesInto(dst []string) []string {
 	return dst
 }
 
-// Run advances the simulation to the given time (seconds).
-func (r *Runner) Run(until float64) { r.Eng.RunUntil(until) }
+// Run advances the simulation to the given time (seconds) — all shards in
+// conservative lockstep on a sharded runner, the single engine otherwise.
+func (r *Runner) Run(until float64) {
+	if r.Group != nil {
+		r.Group.RunUntil(until)
+		return
+	}
+	r.Eng.RunUntil(until)
+}
 
 // GoodputMbps returns a flow's whole-run goodput in Mbps measured from its
 // start time to `until`.

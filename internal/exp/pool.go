@@ -24,13 +24,22 @@ import (
 //  1. the explicit count passed to RunTrialsWith/RunPointsWith,
 //  2. SetWorkers (cmd/pccbench's -par flag),
 //  3. the PCC_PAR environment variable,
-//  4. GOMAXPROCS.
+//  4. GOMAXPROCS divided by the shard count.
+//
+// Workers and shards are the two parallelism axes — across trials and
+// inside one trial (sim.ShardGroup) — and a sweep uses workers × shards
+// cores. The automatic default budgets the machine across both
+// (GOMAXPROCS/Shards() workers); an explicit SetWorkers/PCC_PAR is taken
+// literally, so deliberate oversubscription stays expressible.
 
 // workerOverride holds the SetWorkers value; 0 means "not set".
 var workerOverride atomic.Int64
 
+// shardOverride holds the SetShards value; 0 means "not set".
+var shardOverride atomic.Int64
+
 // SetWorkers overrides the default worker count for RunTrials/RunPoints.
-// n <= 0 restores automatic resolution (PCC_PAR, then GOMAXPROCS).
+// n <= 0 restores automatic resolution (PCC_PAR, then GOMAXPROCS/Shards).
 func SetWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -48,7 +57,35 @@ func Workers() int {
 			return n
 		}
 	}
-	return runtime.GOMAXPROCS(0)
+	if w := runtime.GOMAXPROCS(0) / Shards(); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// SetShards overrides the intra-trial shard count experiments request for
+// their topologies (cmd/pccbench's -shards flag). n <= 0 restores automatic
+// resolution (PCC_SHARDS, then 1). The value is a ceiling: the topology
+// partitioner may use fewer shards when the graph cannot support that many,
+// and experiments whose topologies do not benefit ignore it entirely.
+func SetShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	shardOverride.Store(int64(n))
+}
+
+// Shards returns the shard ceiling sharding-aware experiments will request.
+func Shards() int {
+	if n := int(shardOverride.Load()); n > 0 {
+		return n
+	}
+	if s := os.Getenv("PCC_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
 }
 
 // gcRelax widens the garbage collector's heap-growth target while trials

@@ -12,26 +12,27 @@ type Driver func(scale float64, seed int64) *Report
 
 // drivers maps experiment IDs to their drivers.
 var drivers = map[string]Driver{
-	"fig5":     RunFig5,
-	"fig6":     RunFig6,
-	"fig7":     RunFig7,
-	"fig8":     RunFig8,
-	"fig9":     RunFig9,
-	"fig10":    RunFig10,
-	"fig11":    func(scale float64, seed int64) *Report { r, _ := RunFig11(scale, seed); return r },
-	"fig12":    RunFig12,
-	"fig13":    RunFig13,
-	"fig14":    RunFig14,
-	"fig15":    RunFig15,
-	"fig16":    RunFig16,
-	"fig17":    RunFig17,
-	"table1":   RunTable1,
-	"loss50":   RunLossResilient,
-	"theory":   RunTheory,
-	"ablation": RunAblation,
-	"parklot":  RunParkingLot,
-	"revpath":  RunRevPath,
-	"mixmtu":   RunMixMTU,
+	"fig5":      RunFig5,
+	"fig6":      RunFig6,
+	"fig7":      RunFig7,
+	"fig8":      RunFig8,
+	"fig9":      RunFig9,
+	"fig10":     RunFig10,
+	"fig11":     func(scale float64, seed int64) *Report { r, _ := RunFig11(scale, seed); return r },
+	"fig12":     RunFig12,
+	"fig13":     RunFig13,
+	"fig14":     RunFig14,
+	"fig15":     RunFig15,
+	"fig16":     RunFig16,
+	"fig17":     RunFig17,
+	"table1":    RunTable1,
+	"loss50":    RunLossResilient,
+	"theory":    RunTheory,
+	"ablation":  RunAblation,
+	"parklot":   RunParkingLot,
+	"revpath":   RunRevPath,
+	"mixmtu":    RunMixMTU,
+	"widechain": RunWideChain,
 }
 
 // Run dispatches an experiment by ID.

@@ -41,6 +41,15 @@ type Link struct {
 	// link so recycling never crosses goroutines.
 	Pool *PacketPool
 
+	// XDeliver, when set, replaces the propagation stage: packets that
+	// survive transmission and loss are handed to XDeliver(Delay, p) instead
+	// of the local pipe. A sharded Topology installs it on links whose
+	// endpoints live on different shards, turning the propagation delay into
+	// a cross-shard mailbox post (the delay is the conservative lookahead
+	// budget, so it must stay >= the shard group's lookahead). All counters
+	// are final before the handoff.
+	XDeliver func(delay float64, p *Packet)
+
 	rng       Rng
 	busy      bool
 	delivered int64
@@ -153,7 +162,9 @@ func (l *Link) finish(p *Packet) {
 	} else {
 		l.delivered++
 		l.deliveredBytes += int64(p.Size)
-		if l.Delay == 0 {
+		if l.XDeliver != nil {
+			l.XDeliver(l.Delay, p)
+		} else if l.Delay == 0 {
 			// Zero-delay link (the dumbbell bottleneck: all propagation
 			// lives in the access hops): the pipe would never batch —
 			// delivery lands at the finish instant, so the slot drains

@@ -1,0 +1,128 @@
+package netem
+
+import "math"
+
+// Node→shard partitioning for the sharded conservative engine.
+//
+// The partitioner's contract with sim.ShardGroup is purely about delay:
+// every edge whose endpoints land on different shards must have positive
+// propagation delay, and the group's lookahead is the minimum such delay.
+// Zero-delay edges (back-to-back links, mid-box hand-offs) therefore force
+// their endpoints into one shard — a zero-delay cut would collapse the
+// conservative window to nothing.
+//
+// Within that constraint the partitioner is deliberately simple: contract
+// zero-delay edges with a union-find, then slice the resulting clusters
+// into contiguous blocks in first-appearance order. Chain-shaped topologies
+// (the widechain experiment, parking lots, WAN paths) appear in path order,
+// so contiguous blocks are also locality-preserving cuts; fancier balancing
+// can replace this without touching the protocol.
+
+// Edge is one directed link for partitioning purposes: From and To are node
+// names, Delay the propagation delay in seconds.
+type Edge struct {
+	From, To string
+	Delay    float64
+}
+
+// PartitionNodes splits the nodes reachable from edges into at most
+// maxShards shards. It returns the node→shard assignment, the shard count
+// actually used, and the group lookahead (the minimum delay over cut edges;
+// +Inf when no edge crosses shards). A nil map with count 1 means sharding
+// is not worthwhile (maxShards < 2 or the zero-delay contraction leaves a
+// single cluster).
+func PartitionNodes(edges []Edge, maxShards int) (map[string]int, int, float64) {
+	if maxShards < 2 {
+		return nil, 1, 0
+	}
+
+	// Index nodes in first-appearance order so the layout is deterministic
+	// and path-shaped inputs stay in path order.
+	idx := make(map[string]int)
+	var names []string
+	id := func(name string) int {
+		if i, ok := idx[name]; ok {
+			return i
+		}
+		i := len(names)
+		idx[name] = i
+		names = append(names, name)
+		return i
+	}
+	for _, e := range edges {
+		id(e.From)
+		id(e.To)
+	}
+	n := len(names)
+	if n < 2 {
+		return nil, 1, 0
+	}
+
+	// Union-find with union-by-min-index: the root of a set is always its
+	// smallest member, so cluster numbering below stays in first-appearance
+	// order without a second normalization pass.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		if e.Delay > 0 {
+			continue
+		}
+		a, b := find(idx[e.From]), find(idx[e.To])
+		if a == b {
+			continue
+		}
+		if a < b {
+			parent[b] = a
+		} else {
+			parent[a] = b
+		}
+	}
+
+	// Number clusters by first appearance (a set's root has the smallest
+	// index, so the root is always seen before its members).
+	clusterOf := make([]int, n)
+	nClusters := 0
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if r == i {
+			clusterOf[i] = nClusters
+			nClusters++
+		} else {
+			clusterOf[i] = clusterOf[r]
+		}
+	}
+	if nClusters < 2 {
+		return nil, 1, 0
+	}
+
+	shards := maxShards
+	if nClusters < shards {
+		shards = nClusters
+	}
+
+	// Contiguous cluster blocks: cluster c → shard c*shards/nClusters.
+	// Every shard gets at least one cluster and block boundaries respect
+	// the first-appearance (path) order.
+	assign := make(map[string]int, n)
+	for i, name := range names {
+		assign[name] = clusterOf[i] * shards / nClusters
+	}
+
+	lookahead := math.Inf(1)
+	for _, e := range edges {
+		if assign[e.From] != assign[e.To] && e.Delay < lookahead {
+			lookahead = e.Delay
+		}
+	}
+	return assign, shards, lookahead
+}

@@ -1,0 +1,115 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestPartitionChainContiguous(t *testing.T) {
+	// 9-node chain with per-hop delays 1..8 ms; 4 shards must slice it into
+	// contiguous blocks and the lookahead must be the smallest cut delay.
+	var edges []Edge
+	for i := 0; i < 8; i++ {
+		edges = append(edges,
+			Edge{From: node(i), To: node(i + 1), Delay: float64(i+1) * 1e-3},
+			Edge{From: node(i + 1), To: node(i), Delay: float64(i+1) * 1e-3})
+	}
+	assign, shards, lookahead := PartitionNodes(edges, 4)
+	if shards != 4 {
+		t.Fatalf("shards = %d, want 4", shards)
+	}
+	prev := 0
+	minCut := math.Inf(1)
+	for i := 0; i < 9; i++ {
+		s := assign[node(i)]
+		if s < prev || s > prev+1 {
+			t.Fatalf("chain assignment not contiguous: node %d on shard %d after shard %d", i, s, prev)
+		}
+		if i > 0 && s != prev {
+			if d := float64(i) * 1e-3; d < minCut {
+				minCut = d
+			}
+		}
+		prev = s
+	}
+	if prev != 3 {
+		t.Fatalf("last node on shard %d, want 3", prev)
+	}
+	if lookahead != minCut {
+		t.Fatalf("lookahead = %v, want min cut delay %v", lookahead, minCut)
+	}
+}
+
+func TestPartitionZeroDelayMerges(t *testing.T) {
+	// Dumbbell shape: zero-delay bottleneck forces everything into one
+	// cluster, so sharding is declined.
+	edges := []Edge{
+		{From: "s1", To: "sw", Delay: 5e-3},
+		{From: "s2", To: "sw", Delay: 5e-3},
+		{From: "sw", To: "rt", Delay: 0},
+		{From: "rt", To: "d1", Delay: 5e-3},
+		{From: "rt", To: "d2", Delay: 5e-3},
+	}
+	// Zero-delay edge contracts sw+rt but the leaves still form clusters.
+	assign, shards, _ := PartitionNodes(edges, 4)
+	if shards < 2 {
+		t.Fatalf("leaf clusters should still shard, got %d", shards)
+	}
+	if assign["sw"] != assign["rt"] {
+		t.Fatalf("zero-delay endpoints split: sw=%d rt=%d", assign["sw"], assign["rt"])
+	}
+
+	// All edges zero-delay: one cluster, no sharding.
+	for i := range edges {
+		edges[i].Delay = 0
+	}
+	assign, shards, lookahead := PartitionNodes(edges, 4)
+	if assign != nil || shards != 1 || lookahead != 0 {
+		t.Fatalf("all-zero-delay graph should decline sharding, got %v %d %v", assign, shards, lookahead)
+	}
+}
+
+func TestPartitionClampsToClusters(t *testing.T) {
+	edges := []Edge{
+		{From: "a", To: "b", Delay: 1e-3},
+		{From: "b", To: "a", Delay: 1e-3},
+	}
+	assign, shards, lookahead := PartitionNodes(edges, 8)
+	if shards != 2 {
+		t.Fatalf("shards = %d, want 2 (clamped to cluster count)", shards)
+	}
+	if assign["a"] == assign["b"] {
+		t.Fatal("two positive-delay clusters landed on one shard")
+	}
+	if lookahead != 1e-3 {
+		t.Fatalf("lookahead = %v, want 1e-3", lookahead)
+	}
+}
+
+func TestPartitionDeclinesSingleShard(t *testing.T) {
+	edges := []Edge{{From: "a", To: "b", Delay: 1e-3}}
+	if assign, shards, _ := PartitionNodes(edges, 1); assign != nil || shards != 1 {
+		t.Fatalf("maxShards=1 should decline, got %v %d", assign, shards)
+	}
+	if assign, shards, _ := PartitionNodes(nil, 4); assign != nil || shards != 1 {
+		t.Fatalf("empty edge set should decline, got %v %d", assign, shards)
+	}
+}
+
+func TestPartitionDisconnectedLookahead(t *testing.T) {
+	// Two disconnected components: no cut edges, lookahead +Inf.
+	edges := []Edge{
+		{From: "a", To: "b", Delay: 0},
+		{From: "c", To: "d", Delay: 0},
+	}
+	_, shards, lookahead := PartitionNodes(edges, 2)
+	if shards != 2 {
+		t.Fatalf("shards = %d, want 2", shards)
+	}
+	if !math.IsInf(lookahead, 1) {
+		t.Fatalf("lookahead = %v, want +Inf for disconnected components", lookahead)
+	}
+}
+
+func node(i int) string { return fmt.Sprintf("n%d", i) }

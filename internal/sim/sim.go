@@ -698,6 +698,42 @@ func (e *Engine) Run() {
 	}
 }
 
+// NextEventAt returns the timestamp of the earliest live pending event, or
+// +Inf when the engine is drained. Probing may flush timing-wheel slots into
+// the heap, which is placement only and cannot change any result.
+func (e *Engine) NextEventAt() Time {
+	if ev := e.peekLive(); ev != nil {
+		return ev.at
+	}
+	return math.Inf(1)
+}
+
+// RunBefore executes every event with a timestamp strictly below limit and
+// leaves the clock at the last executed event. Unlike RunUntil it neither
+// runs events at exactly limit nor force-advances the clock: conservative
+// shard rounds execute half-open [now, limit) windows, and only the group
+// coordinator knows the final deadline (see ShardGroup).
+func (e *Engine) RunBefore(limit Time) {
+	e.halted = false
+	for !e.halted {
+		if len(e.events) > 0 {
+			it := &e.events[0]
+			if !it.ev.dead && (e.wheel.count == 0 || e.wheel.cur > tickOf(it.at)+1) {
+				if it.at >= limit {
+					return
+				}
+				e.runAt(it.at)
+				continue
+			}
+		}
+		next := e.peekLiveSlow()
+		if next == nil || next.at >= limit {
+			return
+		}
+		e.runAt(next.at)
+	}
+}
+
 // RunUntil executes events with timestamps <= deadline and then advances the
 // clock to exactly deadline. Events scheduled after the deadline remain
 // queued, so simulations can be resumed with further RunUntil calls.

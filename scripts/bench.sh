@@ -10,6 +10,12 @@
 #                                      # fig14) via pccbench -memprofile and
 #                                      # print the top-10 alloc sites, so perf
 #                                      # PRs can see where trial memory goes
+#   scripts/bench.sh -shards n [OUT]   # run the suite with an n-shard ceiling
+#                                      # per trial (exported as PCC_SHARDS);
+#                                      # BenchmarkWideChain additionally pins
+#                                      # its own shards=1 / shards=NumCPU pair
+#                                      # regardless, so one snapshot carries
+#                                      # the intra-trial speedup comparison
 #   BENCHTIME=5x scripts/bench.sh      # override go test -benchtime (default 1x)
 #   COUNT=3 scripts/bench.sh           # override -count (default 1)
 #   MEMSCALE=0.1 scripts/bench.sh -mem # override the -mem sweep's scale
@@ -43,6 +49,13 @@ if [ "${1:-}" = "-mem" ]; then
     echo "== top-10 alloc sites for -exp $EXPID -scale $SCALE (alloc_objects) =="
     go tool pprof -top -nodecount=10 -sample_index=alloc_objects "$BIN" "$PROF"
     exit 0
+fi
+
+# -shards: cap intra-trial engine sharding for the whole suite. The env var
+# is what internal/exp reads (same resolution order as pccbench -shards).
+if [ "${1:-}" = "-shards" ]; then
+    export PCC_SHARDS="$2"
+    shift 2
 fi
 
 next_index() {
