@@ -17,9 +17,11 @@ func TestListGolden(t *testing.T) {
 		"ablation",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig5", "fig6", "fig7", "fig8", "fig9",
+		"linkflap",
 		"loss50",
 		"mixmtu",
 		"parklot",
+		"partition",
 		"revpath",
 		"table1",
 		"theory",

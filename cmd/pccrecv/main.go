@@ -11,6 +11,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"time"
 
 	"pcc/internal/transport"
 )
@@ -41,6 +42,14 @@ func main() {
 	}
 
 	r := transport.NewReceiver(conn, w)
+	// The receiver lingers after completion to answer retransmitted FINs
+	// (its fin-ack may be lost); give it a grace window past Done, then
+	// close the socket to stop Run.
+	go func() {
+		<-r.Done()
+		time.Sleep(2 * time.Second)
+		conn.Close()
+	}()
 	if err := r.Run(); err != nil {
 		log.Fatalf("pccrecv: %v", err)
 	}

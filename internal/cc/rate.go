@@ -65,6 +65,9 @@ type RateSender struct {
 	rttCnt   int64
 	done     bool
 	started  bool
+	// frozen parks the sender during an injected node crash: pacing and
+	// tail-loss timers stop and arriving ACKs are consumed without effect.
+	frozen bool
 
 	// rate trace for rate-over-time plots: appended whenever the polled
 	// rate changes by more than 0.1%.
@@ -208,6 +211,7 @@ func (s *RateSender) Reset(algo RateAlgo) {
 	s.sentPkts, s.rtxPkts = 0, 0
 	s.rttSum, s.rttCnt = 0, 0
 	s.done, s.started = false, false
+	s.frozen = false
 	s.TraceRate = false
 	s.RateTrace = s.RateTrace[:0]
 	s.lastRate = 0
@@ -226,6 +230,27 @@ func (s *RateSender) Start() {
 	s.started = true
 	s.Algo.Start(s.Eng.Now())
 	s.sendLoop()
+}
+
+// Freeze parks the sender for an injected node crash: both timers stop and
+// every hook becomes a no-op until Unfreeze. In-window state (sent, sacked,
+// lost, the algorithm's monitor intervals) is retained untouched.
+func (s *RateSender) Freeze() {
+	s.frozen = true
+	s.sendTimer.Stop()
+	s.tailTimer.Stop()
+}
+
+// Unfreeze resumes a frozen sender where it stopped; the tail timer re-arms
+// through the send path as usual.
+func (s *RateSender) Unfreeze() {
+	s.frozen = false
+	if s.started && !s.done {
+		s.sendLoop()
+		if s.outstandingUnsacked() > 0 {
+			s.armTail()
+		}
+	}
 }
 
 // Sent returns total data transmissions (including retransmissions).
@@ -260,7 +285,7 @@ func (s *RateSender) hasData() bool {
 // sendLoop transmits one packet and schedules the next transmission at the
 // current pacing rate.
 func (s *RateSender) sendLoop() {
-	if s.done || !s.hasData() {
+	if s.done || s.frozen || !s.hasData() {
 		return
 	}
 	now := s.Eng.Now()
@@ -343,7 +368,7 @@ func (s *RateSender) armTail() {
 }
 
 func (s *RateSender) onTail() {
-	if s.done {
+	if s.done || s.frozen {
 		return
 	}
 	now := s.Eng.Now()
@@ -382,7 +407,9 @@ func (s *RateSender) outstandingUnsacked() int { return s.win.outstanding() }
 func (s *RateSender) OnAck(p *netem.Packet) {
 	sackSeq, cumAck, echoSent := p.SackSeq, p.CumAck, p.EchoSent
 	s.Pool.Put(p)
-	if s.done {
+	if s.done || s.frozen {
+		// Frozen (crashed node): the ACK is consumed but the host is not
+		// there to process it.
 		return
 	}
 	now := s.Eng.Now()

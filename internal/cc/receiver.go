@@ -38,6 +38,9 @@ type Receiver struct {
 	firstAt     float64
 	lastAt      float64
 	completed   bool
+	// frozen parks the receiver during an injected node crash: arriving data
+	// is recycled unprocessed and no ACK is emitted.
+	frozen bool
 }
 
 // NewReceiver builds a receiver for the given flow.
@@ -60,10 +63,23 @@ func (r *Receiver) Reset() {
 	r.uniqueBytes, r.uniquePkts, r.totalPkts = 0, 0, 0
 	r.firstAt, r.lastAt = -1, 0
 	r.completed = false
+	r.frozen = false
 }
+
+// Freeze parks the receiver for an injected node crash: data arriving while
+// frozen is destroyed (the host is down) and never acknowledged. Counters and
+// reassembly state are retained for Unfreeze.
+func (r *Receiver) Freeze() { r.frozen = true }
+
+// Unfreeze resumes a frozen receiver; reception continues where it stopped.
+func (r *Receiver) Unfreeze() { r.frozen = false }
 
 // OnData processes an arriving data packet and emits an ACK.
 func (r *Receiver) OnData(p *netem.Packet) {
+	if r.frozen {
+		r.Pool.Put(p)
+		return
+	}
 	now := r.Eng.Now()
 	r.totalPkts++
 	if r.firstAt < 0 {

@@ -80,6 +80,9 @@ type WindowSender struct {
 	rttCnt   int64
 	done     bool
 	started  bool
+	// frozen parks the sender during an injected node crash: the RTO and
+	// pacing timers stop and arriving ACKs are consumed without effect.
+	frozen bool
 }
 
 // NewWindowSender wires a window-based algorithm to a path.
@@ -95,6 +98,9 @@ func NewWindowSender(eng *sim.Engine, flow int, algo WindowAlgo, sendData func(*
 	// value or capturing closure would allocate per use.
 	s.onRTOFn = s.onRTO
 	s.paceFn = func() {
+		if s.frozen {
+			return
+		}
 		if float64(s.pipe) < s.cwnd() && s.hasData() && !s.done {
 			s.sendOne()
 		}
@@ -138,6 +144,7 @@ func (s *WindowSender) Reset(algo WindowAlgo) {
 	s.sentPkts, s.rtxPkts = 0, 0
 	s.rttSum, s.rttCnt = 0, 0
 	s.done, s.started = false, false
+	s.frozen = false
 }
 
 // SetArena points the sequence window's free-list refills at a shared
@@ -152,6 +159,28 @@ func (s *WindowSender) Start() {
 	}
 	s.started = true
 	s.trySend()
+}
+
+// Freeze parks the sender for an injected node crash: both timers stop and
+// every hook becomes a no-op until Unfreeze. Window state (pipe, SACK marks,
+// recovery point) is retained untouched.
+func (s *WindowSender) Freeze() {
+	s.frozen = true
+	s.rtoTimer.Stop()
+	s.paceTimer.Stop()
+}
+
+// Unfreeze resumes a frozen sender where it stopped, re-arming the RTO for
+// whatever is still outstanding (those packets died with the crashed links
+// and only the timeout can rescue them).
+func (s *WindowSender) Unfreeze() {
+	s.frozen = false
+	if s.started && !s.done {
+		s.trySend()
+		if s.pipe > 0 || s.rtxHead < len(s.rtxQ) {
+			s.armRTO()
+		}
+	}
 }
 
 // Sent returns total data transmissions (including retransmissions).
@@ -188,7 +217,7 @@ func (s *WindowSender) hasData() bool {
 
 // trySend transmits as allowed by cwnd (immediately, or via the pacer).
 func (s *WindowSender) trySend() {
-	if s.done {
+	if s.done || s.frozen {
 		return
 	}
 	if s.Paced {
@@ -206,7 +235,7 @@ func (s *WindowSender) trySend() {
 
 // schedulePace arms the pacing timer if it is idle and there is work.
 func (s *WindowSender) schedulePace() {
-	if s.paceTimer.Active() || s.done {
+	if s.paceTimer.Active() || s.done || s.frozen {
 		return
 	}
 	w := s.cwnd()
@@ -282,7 +311,9 @@ func (s *WindowSender) resetRTO() {
 func (s *WindowSender) OnAck(p *netem.Packet) {
 	sackSeq, cumAck, echoSent := p.SackSeq, p.CumAck, p.EchoSent
 	s.Pool.Put(p)
-	if s.done {
+	if s.done || s.frozen {
+		// Frozen (crashed node): the ACK is consumed but the host is not
+		// there to process it.
 		return
 	}
 	now := s.Eng.Now()
@@ -395,7 +426,7 @@ func (s *WindowSender) outstanding() int { return s.win.outstanding() }
 // onRTO handles a retransmission timeout: every un-SACKed outstanding packet
 // is presumed lost and the algorithm collapses its window.
 func (s *WindowSender) onRTO() {
-	if s.done {
+	if s.done || s.frozen {
 		return
 	}
 	if now := s.Eng.Now(); now < s.rtoDeadline {

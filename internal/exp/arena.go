@@ -32,6 +32,14 @@ type TrialScratch struct {
 	// f64 is a general float64 scratch drivers may use for per-trial series
 	// (SeriesMbpsInto, metrics.SortInto) between runner builds.
 	f64 []float64
+
+	// Exp, Variant and Seed are trial provenance a driver stamps at the top
+	// of each trial function. The pool copies them into the TrialPanicError
+	// wrapping any panic that escapes the trial, so a crash deep inside a
+	// Monte-Carlo sweep reports which experiment, variant and seed to replay
+	// instead of an anonymous stack from a worker goroutine.
+	Exp, Variant string
+	Seed         int64
 }
 
 // maxArenaRunners bounds the cached simulations per worker. Real drivers

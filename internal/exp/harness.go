@@ -8,6 +8,8 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"pcc/internal/baseline"
 	"pcc/internal/cc"
@@ -56,6 +58,16 @@ type TopologySpec struct {
 	// and every flow's delay hops to live on one shard (see
 	// netem.Topology.Shard).
 	Shards int
+	// Faults, when non-nil and non-empty, injects timed hard faults (link
+	// down/up flaps, step degrades, partitions, node crashes) into the trial:
+	// the schedule is materialized at build time — flap jitter drawn from one
+	// runner RNG stream — and scheduled as plain engine events on each target
+	// link's home shard, so faults compose with arenas and sharding without
+	// perturbing determinism. Every link a fault references (and every link
+	// incident to a crashed node) is pinned to a single shard with its
+	// opposite endpoint, so a fault never has to reach across engines
+	// mid-run; cross-shard lookahead stays the static topology minimum.
+	Faults *netem.FaultSchedule
 }
 
 // PathSpec describes the shared bottleneck of a dumbbell.
@@ -132,6 +144,12 @@ type Flow struct {
 	ackSink  func(*netem.Packet)
 	startFn  func()
 	onDone   func(now float64)
+
+	// srcNode/dstNode are the nodes the flow's sender and receiver live at
+	// (the forward route's first link tail and last link head), recorded so
+	// node-crash faults can freeze exactly the endpoints hosted at the
+	// crashed node. Empty on dumbbell flows and link-less routes.
+	srcNode, dstNode string
 }
 
 // Runner assembles and runs one simulation — a dumbbell (NewRunner) or a
@@ -191,6 +209,35 @@ type Runner struct {
 	// goroutines. The slice is sized at construction and never reallocated
 	// (senders hold interior pointers). See cc.PktArena.
 	arenas []cc.PktArena
+
+	// Fault-injection state (topology runners with TopologySpec.Faults).
+	// faultSpec is the schedule as specced; faultEvs its materialized,
+	// time-sorted event list (flap jitter applied); faultActs the resolved
+	// per-shard actions scheduled on the engines; faultLinks the flat link
+	// table the acts index by range (so act resolution never allocates per
+	// act after the first trial); faultSig the pin-relevant structure
+	// signature respec compares (a schedule referencing different links or
+	// nodes implies a different shard pinning, hence a rebuild); faultFn the
+	// shared dispatch trampoline.
+	faultSpec  *netem.FaultSchedule
+	faultEvs   []netem.FaultEvent
+	faultActs  []faultAct
+	faultLinks []*netem.Link
+	faultSig   string
+	faultFn    func(any)
+}
+
+// faultAct is one resolved fault action: a kind applied to the links
+// faultLinks[lo:hi] (plus a node for crash/restart), scheduled at time at on
+// the engine of shard. Partition/Heal events are resolved into per-link
+// down/up acts so each act touches exactly one shard's links.
+type faultAct struct {
+	kind              netem.FaultKind
+	at                float64
+	lo, hi            int
+	node              string
+	shard             int
+	rate, delay, loss float64
 }
 
 // makeQueue builds the AQM a Path/LinkSpec asks for.
@@ -280,6 +327,7 @@ func NewTopologyRunner(ts TopologySpec) *Runner {
 		for i, ls := range ts.Links {
 			edges[i] = netem.Edge{From: ls.From, To: ls.To, Delay: ls.Delay}
 		}
+		edges = appendFaultPins(edges, ts)
 		if assign, n, lookahead := netem.PartitionNodes(edges, ts.Shards); n > 1 {
 			group := sim.NewShardGroup(n, lookahead)
 			pools := make([]*netem.PacketPool, n)
@@ -311,7 +359,92 @@ func NewTopologyRunner(ts TopologySpec) *Runner {
 	}
 	r.linkShape = append(r.linkShape, ts.Links...)
 	r.bindSinks()
+	r.faultSig = faultSig(ts.Faults)
+	r.installFaults(ts.Faults)
 	return r
+}
+
+// appendFaultPins adds zero-delay pin edges for every link a fault schedule
+// touches — directly by name, or by incidence to a crashed node — so the
+// partitioner contracts each such link's endpoints onto one shard and the
+// fault act can run entirely on that link's home engine. Pinning is
+// per-link: a partition cutting links in distant parts of the graph pins
+// each link locally without collapsing the shards between them.
+func appendFaultPins(edges []netem.Edge, ts TopologySpec) []netem.Edge {
+	if ts.Faults.Empty() {
+		return edges
+	}
+	byName := make(map[string]LinkSpec, len(ts.Links))
+	for _, ls := range ts.Links {
+		byName[ls.Name] = ls
+	}
+	pinLink := func(name string) {
+		ls, ok := byName[name]
+		if !ok {
+			panic(fmt.Sprintf("exp: fault schedule references unknown link %q", name))
+		}
+		edges = append(edges, netem.Edge{From: ls.From, To: ls.To})
+	}
+	pinNode := func(node string) {
+		for _, ls := range ts.Links {
+			if ls.From == node || ls.To == node {
+				edges = append(edges, netem.Edge{From: ls.From, To: ls.To})
+			}
+		}
+	}
+	for _, ev := range ts.Faults.Events {
+		switch ev.Kind {
+		case netem.FaultLinkDown, netem.FaultLinkUp, netem.FaultDegrade:
+			pinLink(ev.Link)
+		case netem.FaultPartition, netem.FaultHeal:
+			for _, name := range ev.Links {
+				pinLink(name)
+			}
+		case netem.FaultNodeCrash, netem.FaultNodeRestart:
+			pinNode(ev.Node)
+		}
+	}
+	for _, f := range ts.Faults.Flaps {
+		pinLink(f.Link)
+	}
+	return edges
+}
+
+// faultSig summarizes the pin-relevant structure of a schedule: the sorted
+// set of link and node names it touches. Two schedules with the same
+// signature pin the same edges, so an arena-cached runner may be re-specced
+// between them even though event times and parameters differ per trial.
+func faultSig(s *netem.FaultSchedule) string {
+	if s.Empty() {
+		return ""
+	}
+	var names []string
+	for _, ev := range s.Events {
+		if ev.Link != "" {
+			names = append(names, "l:"+ev.Link)
+		}
+		for _, n := range ev.Links {
+			names = append(names, "l:"+n)
+		}
+		if ev.Node != "" {
+			names = append(names, "n:"+ev.Node)
+		}
+	}
+	for _, f := range s.Flaps {
+		names = append(names, "l:"+f.Link)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	prev := ""
+	for _, n := range names {
+		if n == prev {
+			continue
+		}
+		b.WriteString(n)
+		b.WriteByte('\x00')
+		prev = n
+	}
+	return b.String()
 }
 
 // bindSinks caches the per-runner function values every flow shares.
@@ -360,6 +493,11 @@ func (r *Runner) respecTopology(ts TopologySpec) bool {
 	if r.Net != nil || len(r.linkShape) != len(ts.Links) || r.reqShards != ts.Shards {
 		return false
 	}
+	if r.faultSig != faultSig(ts.Faults) {
+		// A different fault target set implies different shard pins (and a
+		// fresh runner draws or skips the jitter stream accordingly): rebuild.
+		return false
+	}
 	for i, ls := range ts.Links {
 		prev := r.linkShape[i]
 		if prev.Name != ls.Name || prev.From != ls.From || prev.To != ls.To || prev.QueueKind != ls.QueueKind {
@@ -387,7 +525,171 @@ func (r *Runner) respecTopology(ts TopologySpec) bool {
 	r.Path = PathSpec{Seed: ts.Seed}
 	r.Flows = r.Flows[:0]
 	r.randIdx = 0
+	r.installFaults(ts.Faults)
 	return true
+}
+
+// installFaults materializes and schedules a fault plan on a freshly built
+// or just-respecced runner (engines at time zero). It draws exactly one
+// runner RNG stream — flap jitter — and only when the spec carries a
+// schedule, so unfaulted experiments' seed chains are untouched and faulted
+// ones draw at the same position fresh and respecced. Acts are resolved
+// per shard: a partition cutting links on several shards becomes one
+// down-act per link, each scheduled on its link's home engine.
+func (r *Runner) installFaults(s *netem.FaultSchedule) {
+	r.faultSpec = s
+	if s.Empty() {
+		return
+	}
+	jrng := r.NextRand()
+	r.faultEvs = s.Materialize(r.faultEvs[:0], jrng)
+	r.faultActs = r.faultActs[:0]
+	r.faultLinks = r.faultLinks[:0]
+	for i := range r.faultEvs {
+		ev := &r.faultEvs[i]
+		switch ev.Kind {
+		case netem.FaultLinkDown, netem.FaultLinkUp:
+			r.pushFaultAct(ev.Kind, ev.At, []string{ev.Link}, "", ev)
+		case netem.FaultDegrade:
+			r.pushFaultAct(netem.FaultDegrade, ev.At, []string{ev.Link}, "", ev)
+		case netem.FaultPartition:
+			for _, name := range ev.Links {
+				r.pushFaultAct(netem.FaultLinkDown, ev.At, []string{name}, "", ev)
+			}
+		case netem.FaultHeal:
+			for _, name := range ev.Links {
+				r.pushFaultAct(netem.FaultLinkUp, ev.At, []string{name}, "", ev)
+			}
+		case netem.FaultNodeCrash, netem.FaultNodeRestart:
+			r.pushFaultAct(ev.Kind, ev.At, nil, ev.Node, ev)
+		}
+	}
+	if r.faultFn == nil {
+		r.faultFn = func(a any) { r.runFault(a.(*faultAct)) }
+	}
+	// Schedule in a second pass: faultActs is final now, so interior
+	// pointers into it stay valid for the whole trial.
+	for i := range r.faultActs {
+		a := &r.faultActs[i]
+		r.Engines[a.shard].PostArg(a.at, r.faultFn, a)
+	}
+}
+
+// pushFaultAct resolves one fault event into an act over named links (or a
+// node's incident links) and appends it. All of an act's links must live on
+// one shard; the fault pins added at build time guarantee that for exactly
+// the links a schedule references, so a violation means the respec path was
+// handed a schedule touching links the build never pinned.
+func (r *Runner) pushFaultAct(kind netem.FaultKind, at float64, links []string, node string, ev *netem.FaultEvent) {
+	a := faultAct{kind: kind, at: at, node: node, lo: len(r.faultLinks), shard: -1,
+		rate: ev.RateBps, delay: ev.Delay, loss: ev.Loss}
+	push := func(name string) {
+		l := r.Topo.LinkByName(name)
+		if l == nil {
+			panic(fmt.Sprintf("exp: fault schedule references unknown link %q", name))
+		}
+		from, _ := r.Topo.LinkEnds(name)
+		shard := r.Topo.NodeShard(from)
+		if a.shard < 0 {
+			a.shard = shard
+		} else if a.shard != shard {
+			panic(fmt.Sprintf("exp: fault act spans shards %d and %d (link %q not pinned at build — did the schedule's target set change without a rebuild?)", a.shard, shard, name))
+		}
+		r.faultLinks = append(r.faultLinks, l)
+	}
+	if node != "" {
+		a.shard = r.Topo.NodeShard(node)
+		for _, ls := range r.linkShape {
+			if ls.From == node || ls.To == node {
+				push(ls.Name)
+			}
+		}
+	} else {
+		for _, name := range links {
+			push(name)
+		}
+	}
+	if a.shard < 0 {
+		a.shard = 0
+	}
+	a.hi = len(r.faultLinks)
+	r.faultActs = append(r.faultActs, a)
+}
+
+// runFault applies one act at its scheduled instant, on the engine of the
+// shard every target link lives on.
+func (r *Runner) runFault(a *faultAct) {
+	switch a.kind {
+	case netem.FaultLinkDown:
+		for _, l := range r.faultLinks[a.lo:a.hi] {
+			l.SetDown(true)
+		}
+	case netem.FaultLinkUp:
+		for _, l := range r.faultLinks[a.lo:a.hi] {
+			l.SetDown(false)
+		}
+	case netem.FaultDegrade:
+		for _, l := range r.faultLinks[a.lo:a.hi] {
+			if a.rate > 0 {
+				l.Rate = a.rate
+			}
+			if a.delay >= 0 {
+				l.Delay = a.delay
+			}
+			if a.loss >= 0 {
+				l.LossRate = a.loss
+			}
+		}
+	case netem.FaultNodeCrash:
+		for _, l := range r.faultLinks[a.lo:a.hi] {
+			l.SetDown(true)
+		}
+		r.freezeNode(a.node, true)
+	case netem.FaultNodeRestart:
+		for _, l := range r.faultLinks[a.lo:a.hi] {
+			l.SetDown(false)
+		}
+		r.freezeNode(a.node, false)
+	}
+}
+
+// freezeNode freezes or resumes every sender and receiver hosted at the
+// node. The endpoints of a flow live on the shards its routes start and end
+// on — the same shards the crashed node's links were pinned to — so this
+// runs engine-locally.
+func (r *Runner) freezeNode(node string, frozen bool) {
+	for _, f := range r.Flows {
+		if f.srcNode == node {
+			switch {
+			case f.RS != nil && frozen:
+				f.RS.Freeze()
+			case f.RS != nil:
+				f.RS.Unfreeze()
+			case f.WS != nil && frozen:
+				f.WS.Freeze()
+			case f.WS != nil:
+				f.WS.Unfreeze()
+			}
+		}
+		if f.dstNode == node {
+			if frozen {
+				f.Recv.Freeze()
+			} else {
+				f.Recv.Unfreeze()
+			}
+		}
+	}
+}
+
+// FaultEvents returns the materialized, time-sorted fault event list of the
+// current trial (flap jitter applied), so drivers can compute fault-relative
+// metrics like recovery time after the last heal. Nil when the runner has no
+// fault schedule.
+func (r *Runner) FaultEvents() []netem.FaultEvent {
+	if r.faultSpec.Empty() {
+		return nil
+	}
+	return r.faultEvs
 }
 
 // NextRand returns a generator seeded from the runner's derivation chain —
@@ -507,6 +809,21 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	if r.Group != nil && topoFlow {
 		sShard, rShard = r.Topo.RouteEnds(spec.FwdRoute)
 	}
+	// Resolve the endpoint nodes for node-crash freezing: the tail of the
+	// first link and the head of the last link on the forward route.
+	srcNode, dstNode := "", ""
+	if topoFlow && !r.faultSpec.Empty() {
+		for _, hs := range spec.FwdRoute {
+			if hs.Link == "" {
+				continue
+			}
+			from, to := r.Topo.LinkEnds(hs.Link)
+			if srcNode == "" {
+				srcNode = from
+			}
+			dstNode = to
+		}
+	}
 	sEng, rEng := r.Engines[sShard], r.Engines[rShard]
 	sPool, rPool := r.Pools[sShard], r.Pools[rShard]
 
@@ -537,6 +854,7 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 		r.flowPool = append(r.flowPool, f)
 	}
 	r.Flows = append(r.Flows, f)
+	f.srcNode, f.dstNode = srcNode, dstNode
 	f.Recv.Bucket = spec.Bucket
 	var flowPkts int64
 	if spec.FlowKB > 0 {
@@ -691,6 +1009,20 @@ func (r *Runner) LinkStatsNotesInto(dst []string) []string {
 	for _, s := range r.Topo.Stats() {
 		dst = append(dst, fmt.Sprintf("link %s: delivered=%d wire_lost=%d queue_dropped=%d",
 			s.Name, s.Delivered, s.WireLost, s.QueueDropped))
+	}
+	return dst
+}
+
+// FaultStatsNotesInto renders per-link accounting including the fault ledger
+// and the conservation verdict, appending into dst[:0]. Chaos drivers use it
+// instead of LinkStatsNotesInto so every down/up and partition/heal
+// transition is auditable in the report (and a conservation violation is
+// visible as conserved=false rather than silently wrong goodput).
+func (r *Runner) FaultStatsNotesInto(dst []string) []string {
+	dst = dst[:0]
+	for _, s := range r.Topo.Stats() {
+		dst = append(dst, fmt.Sprintf("link %s: delivered=%d wire_lost=%d queue_dropped=%d fault_dropped=%d conserved=%v",
+			s.Name, s.Delivered, s.WireLost, s.QueueDropped, s.FaultDropped, s.Conserved()))
 	}
 	return dst
 }

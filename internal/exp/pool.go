@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -138,13 +139,76 @@ func exitGCRelax() {
 	gcRelax.mu.Unlock()
 }
 
+// TrialPanicError wraps a panic that escaped a trial function, carrying
+// enough provenance to replay the failing trial in isolation: the experiment
+// and variant the driver stamped on its TrialScratch, the per-trial seed,
+// the trial index, and which worker ran it (0 on the sequential path).
+// Value is the original panic payload; Unwrap exposes it when it is an
+// error, so errors.Is/As see through the wrapper.
+type TrialPanicError struct {
+	Experiment string
+	Variant    string
+	Seed       int64
+	Trial      int
+	Worker     int
+	Value      any
+}
+
+func (e *TrialPanicError) Error() string {
+	exp := e.Experiment
+	if exp == "" {
+		exp = "?"
+	}
+	variant := e.Variant
+	if variant == "" {
+		variant = "?"
+	}
+	return fmt.Sprintf("exp: trial %d panicked (experiment %s, variant %s, seed %d, worker %d): %v",
+		e.Trial, exp, variant, e.Seed, e.Worker, e.Value)
+}
+
+// Unwrap returns the panic payload when it was an error, nil otherwise.
+func (e *TrialPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// runTrialGuarded runs one trial and converts any escaping panic into a
+// *TrialPanicError stamped with the scratch's provenance fields, re-raised
+// as a panic so both the sequential path and the worker-pool recovery see
+// the same typed value. An already-typed panic passes through untouched
+// (nested pools must not double-wrap).
+func runTrialGuarded(fn func(trial int, ts *TrialScratch), trial, worker int, ts *TrialScratch) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(*TrialPanicError); ok {
+			panic(r)
+		}
+		panic(&TrialPanicError{
+			Experiment: ts.Exp,
+			Variant:    ts.Variant,
+			Seed:       ts.Seed,
+			Trial:      trial,
+			Worker:     worker,
+			Value:      r,
+		})
+	}()
+	fn(trial, ts)
+}
+
 // RunTrials runs fn(trial) for every trial in [0, n) across the default
 // number of workers. fn must be self-contained: it builds its own Runner
 // (and therefore its own engine, RNGs and packet pool) from a seed derived
 // from the trial index, and writes any result into a slot owned by that
 // index. Calls may execute on different goroutines in any order; RunTrials
-// returns after all complete. A panic in any trial is re-raised on the
-// caller's goroutine, matching sequential behaviour.
+// returns after all complete. A panic in any trial is wrapped in a
+// *TrialPanicError and re-raised on the caller's goroutine, matching
+// sequential behaviour.
 func RunTrials(n int, fn func(trial int)) { RunTrialsWith(Workers(), n, fn) }
 
 // RunTrialsWith is RunTrials with an explicit worker count (1 = sequential,
@@ -178,7 +242,7 @@ func RunTrialsScratchWith(workers, n int, fn func(trial int, ts *TrialScratch)) 
 	if workers <= 1 {
 		var ts TrialScratch
 		for i := 0; i < n; i++ {
-			fn(i, &ts)
+			runTrialGuarded(fn, i, 0, &ts)
 		}
 		return
 	}
@@ -191,6 +255,7 @@ func RunTrialsScratchWith(workers, n int, fn func(trial int, ts *TrialScratch)) 
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			defer func() {
@@ -212,7 +277,7 @@ func RunTrialsScratchWith(workers, n int, fn func(trial int, ts *TrialScratch)) 
 				if i >= n {
 					return
 				}
-				fn(i, &ts)
+				runTrialGuarded(fn, i, w, &ts)
 			}
 		}()
 	}

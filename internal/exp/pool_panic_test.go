@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"errors"
+	"testing"
+)
+
+// recoverTrialPanic runs f and returns the *TrialPanicError it panics with,
+// failing the test if f panics with anything else or not at all.
+func recoverTrialPanic(t *testing.T, f func()) *TrialPanicError {
+	t.Helper()
+	var tpe *TrialPanicError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("trial panic was swallowed")
+			}
+			var ok bool
+			if tpe, ok = r.(*TrialPanicError); !ok {
+				t.Fatalf("re-raised panic is %T (%v), want *TrialPanicError", r, r)
+			}
+		}()
+		f()
+	}()
+	return tpe
+}
+
+// TestTrialPanicWrappedSequential checks the workers<=1 path: a panicking
+// trial surfaces as a *TrialPanicError carrying the provenance the trial
+// stamped on its scratch plus the trial index, and earlier trials complete.
+func TestTrialPanicWrappedSequential(t *testing.T) {
+	ran := 0
+	boom := errors.New("queue invariant violated")
+	tpe := recoverTrialPanic(t, func() {
+		RunTrialsScratchWith(1, 5, func(i int, ts *TrialScratch) {
+			ts.Exp, ts.Variant, ts.Seed = "linkflap", "pcc", TrialSeed(42, i)
+			ran++
+			if i == 2 {
+				panic(boom)
+			}
+		})
+	})
+	if ran != 3 {
+		t.Errorf("ran %d trials before the panic, want 3", ran)
+	}
+	if tpe.Experiment != "linkflap" || tpe.Variant != "pcc" || tpe.Trial != 2 || tpe.Worker != 0 {
+		t.Errorf("provenance = %+v, want experiment linkflap, variant pcc, trial 2, worker 0", tpe)
+	}
+	if tpe.Seed != TrialSeed(42, 2) {
+		t.Errorf("Seed = %d, want the failing trial's seed %d", tpe.Seed, TrialSeed(42, 2))
+	}
+	if !errors.Is(tpe, boom) {
+		t.Error("errors.Is does not see through the wrapper to the panic value")
+	}
+}
+
+// TestTrialPanicWrappedParallel checks the worker-pool path: the panic
+// aborts the sweep and the first one re-raised is typed, without
+// double-wrapping on its way through the worker recovery.
+func TestTrialPanicWrappedParallel(t *testing.T) {
+	tpe := recoverTrialPanic(t, func() {
+		RunTrialsScratchWith(4, 64, func(i int, ts *TrialScratch) {
+			ts.Exp, ts.Variant, ts.Seed = "partition", "cubic", TrialSeed(7, i)
+			if i%3 == 1 {
+				panic("non-error payload")
+			}
+		})
+	})
+	if tpe.Experiment != "partition" || tpe.Variant != "cubic" {
+		t.Errorf("provenance = %+v, want experiment partition, variant cubic", tpe)
+	}
+	if tpe.Trial%3 != 1 {
+		t.Errorf("Trial = %d, not one of the panicking indices", tpe.Trial)
+	}
+	if tpe.Seed != TrialSeed(7, tpe.Trial) {
+		t.Errorf("Seed = %d does not match trial %d", tpe.Seed, tpe.Trial)
+	}
+	if tpe.Worker < 0 || tpe.Worker >= 4 {
+		t.Errorf("Worker = %d, want [0,4)", tpe.Worker)
+	}
+	if _, isTPE := tpe.Value.(*TrialPanicError); isTPE {
+		t.Error("panic value was double-wrapped")
+	}
+	if tpe.Unwrap() != nil {
+		t.Errorf("Unwrap() = %v for a non-error payload, want nil", tpe.Unwrap())
+	}
+	if got := tpe.Error(); got == "" {
+		t.Error("empty Error() message")
+	}
+}

@@ -29,7 +29,9 @@ var drivers = map[string]Driver{
 	"loss50":    RunLossResilient,
 	"theory":    RunTheory,
 	"ablation":  RunAblation,
+	"linkflap":  RunLinkFlap,
 	"parklot":   RunParkingLot,
+	"partition": RunPartition,
 	"revpath":   RunRevPath,
 	"mixmtu":    RunMixMTU,
 	"widechain": RunWideChain,

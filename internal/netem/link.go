@@ -54,6 +54,18 @@ type Link struct {
 	busy      bool
 	delivered int64
 	lost      int64
+	// down marks the link administratively down (fault injection, see
+	// fault.go): Send still queues (the router buffers), but nothing
+	// serializes, the in-flight train is dropped, and arriving finish events
+	// for packets already on the wire head are discarded into the fault
+	// ledger below.
+	down bool
+	// faultDrops/faultDroppedBytes count packets destroyed by a fault —
+	// the in-flight train flushed when the link went down plus any packet
+	// whose serialization completed while down. They are a first-class term
+	// of the conservation identity (see LinkStats.Conserved).
+	faultDrops        int64
+	faultDroppedBytes int64
 	// Byte-granular accounting, so conservation can be audited per hop
 	// when flows mix packet sizes: offeredBytes counts every byte handed to
 	// Send; deliveredBytes/lostBytes split the bytes that finished
@@ -71,6 +83,10 @@ type Link struct {
 	// so it stays a plain engine event.
 	finishFn  func(any)
 	deliverFn func(any)
+	// faultDropFn destroys an in-flight packet flushed from the propagation
+	// pipe by SetDown. finish counted it delivered before it entered the
+	// pipe, so the ledger moves it from delivered to fault-dropped.
+	faultDropFn func(any)
 	// pipe is the link's propagation delay line: every packet that survives
 	// transmission rides it to the Sink. In-flight packets on a high-BDP
 	// link number in the thousands; batching them into one FIFO ring with a
@@ -94,6 +110,14 @@ func NewLink(eng *sim.Engine, q Queue, rateBps, delay, lossRate float64, rng *ra
 	// Sink is typically assigned after construction; the delivery paths
 	// read it at delivery time.
 	l.deliverFn = func(a any) { l.Sink(a.(*Packet)) }
+	l.faultDropFn = func(a any) {
+		p := a.(*Packet)
+		l.delivered--
+		l.deliveredBytes -= int64(p.Size)
+		l.faultDrops++
+		l.faultDroppedBytes += int64(p.Size)
+		l.Pool.Put(p)
+	}
 	l.pipe = eng.NewPipe(l.deliverFn)
 	return l
 }
@@ -109,7 +133,9 @@ func (l *Link) Reset(rateBps, delay, lossRate float64, seed int64) {
 	l.dt, _ = l.Queue.(*DropTail)
 	l.rng.Reseed(seed)
 	l.busy = false
+	l.down = false
 	l.delivered, l.lost = 0, 0
+	l.faultDrops, l.faultDroppedBytes = 0, 0
 	l.offeredBytes, l.deliveredBytes, l.lostBytes, l.txBytes = 0, 0, 0, 0
 	l.busyUntil = 0
 }
@@ -128,7 +154,7 @@ func (l *Link) Send(p *Packet) {
 		l.Pool.Put(p)
 		return
 	}
-	if !l.busy {
+	if !l.busy && !l.down {
 		l.transmitNext()
 	}
 }
@@ -155,6 +181,18 @@ func (l *Link) transmitNext() {
 }
 
 func (l *Link) finish(p *Packet) {
+	if l.down {
+		// The link went down while this packet was on the wire head: it is
+		// destroyed, and the serializer parks until SetDown(false) restarts
+		// it. The queue keeps its contents (those bytes stay accounted as
+		// QueuedBytes).
+		l.faultDrops++
+		l.faultDroppedBytes += int64(p.Size)
+		l.Pool.Put(p)
+		l.busy = false
+		l.txBytes = 0
+		return
+	}
 	if l.LossRate > 0 && l.rng.Valid() && l.rng.Float64() < l.LossRate {
 		l.lost++
 		l.lostBytes += int64(p.Size)
@@ -178,6 +216,43 @@ func (l *Link) finish(p *Packet) {
 	}
 	l.transmitNext()
 }
+
+// SetDown changes the link's administrative state. Taking a link down
+// destroys its in-flight propagation train (flushed from the pipe into the
+// fault ledger) and parks the serializer: the packet on the wire head, if
+// any, is destroyed when its finish event arrives, and queued packets stay
+// buffered. Bringing the link up restarts transmission from the queue.
+//
+// Two in-flight populations escape the flush by construction, both
+// harmlessly: zero-delay deliveries (they complete at the same instant they
+// start, before any fault event scheduled later can observe them) and
+// out-of-order entries that fell back to plain engine events when the
+// link's delay shrank mid-flight (rare, already counted delivered; they
+// deliver as if they crossed just before the cut).
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if down {
+		l.pipe.Flush(l.faultDropFn)
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// FaultDropped returns the number of packets destroyed by fault injection
+// (in-flight train flushed on SetDown plus wire-head packets finishing while
+// down).
+func (l *Link) FaultDropped() int64 { return l.faultDrops }
+
+// FaultDroppedBytes returns the wire bytes destroyed by fault injection.
+func (l *Link) FaultDroppedBytes() int64 { return l.faultDroppedBytes }
 
 // Delivered returns the number of packets delivered to the sink.
 func (l *Link) Delivered() int64 { return l.delivered }

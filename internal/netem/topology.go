@@ -702,30 +702,44 @@ func (t *Topology) SendAck(p *Packet) {
 	f.rev.hops[0].enter(p)
 }
 
+// LinkEnds returns the endpoint node names of the named link. It panics on
+// an unknown name: callers resolving fault targets or flow endpoints cannot
+// proceed with a silent miss.
+func (t *Topology) LinkEnds(name string) (from, to string) {
+	li := t.byName[name]
+	if li == nil {
+		panic(fmt.Sprintf("netem: LinkEnds of unknown link %q", name))
+	}
+	return li.from, li.to
+}
+
 // LinkStats is one link's cumulative accounting, in packets and in wire
 // bytes. At any point, bytes offered to the link equal DeliveredBytes +
-// WireLostBytes + QueueDroppedBytes + QueuedBytes + TxBytes (the packet on
-// the wire head) — the Conserved method checks exactly that identity, which
-// packet counts alone cannot express once flows mix packet sizes.
+// WireLostBytes + QueueDroppedBytes + FaultDroppedBytes + QueuedBytes +
+// TxBytes (the packet on the wire head) — the Conserved method checks
+// exactly that identity, which packet counts alone cannot express once flows
+// mix packet sizes.
 type LinkStats struct {
 	Name         string
 	Delivered    int64
 	WireLost     int64
 	QueueDropped int64
+	FaultDropped int64
 
 	OfferedBytes      int64
 	DeliveredBytes    int64
 	WireLostBytes     int64
 	QueueDroppedBytes int64
+	FaultDroppedBytes int64
 	QueuedBytes       int64
 	TxBytes           int64
 }
 
 // Conserved reports whether the link's byte ledger balances: every byte
-// offered is delivered, lost on the wire, dropped by the queue, still
-// queued, or serializing.
+// offered is delivered, lost on the wire, dropped by the queue, destroyed by
+// fault injection, still queued, or serializing.
 func (s LinkStats) Conserved() bool {
-	return s.OfferedBytes == s.DeliveredBytes+s.WireLostBytes+s.QueueDroppedBytes+s.QueuedBytes+s.TxBytes
+	return s.OfferedBytes == s.DeliveredBytes+s.WireLostBytes+s.QueueDroppedBytes+s.FaultDroppedBytes+s.QueuedBytes+s.TxBytes
 }
 
 // Stats returns per-link accounting in AddLink order (deterministic, so
@@ -738,11 +752,13 @@ func (t *Topology) Stats() []LinkStats {
 			Delivered:    li.link.Delivered(),
 			WireLost:     li.link.WireLost(),
 			QueueDropped: li.link.Queue.Dropped(),
+			FaultDropped: li.link.FaultDropped(),
 
 			OfferedBytes:      li.link.OfferedBytes(),
 			DeliveredBytes:    li.link.DeliveredBytes(),
 			WireLostBytes:     li.link.WireLostBytes(),
 			QueueDroppedBytes: li.link.Queue.DroppedBytes(),
+			FaultDroppedBytes: li.link.FaultDroppedBytes(),
 			QueuedBytes:       int64(li.link.Queue.Bytes()),
 			TxBytes:           li.link.TxBytes(),
 		}

@@ -33,6 +33,14 @@ type Pipe struct {
 	// head entry. Pinning it (see Event.pinned) keeps the per-delivery
 	// arm/fire cycle off the engine's event free list entirely.
 	slot Event
+	// stale marks the slot as killed by Flush while still lodged in a
+	// scheduling structure: until the dead arming provably pops, arm must
+	// not refresh the slot in place (a double insert would corrupt the heap)
+	// and instead falls back to a dynamic engine event (dyn/dynGen track the
+	// outstanding one so a later Flush can cancel it too).
+	stale  bool
+	dyn    *Event
+	dynGen uint64
 }
 
 type pipeEntry struct {
@@ -89,8 +97,33 @@ func (p *Pipe) Post(delay float64, arg any) {
 // slot is the pipe's own pinned Event, refreshed in place: by the time arm
 // runs the previous arming has always been popped and released (release
 // precedes every callback), so no scheduling structure still references it.
+//
+// Flush breaks that invariant: it kills an armed slot without popping it,
+// leaving the dead arming lodged in the heap/wheel/batch. While stale, arm
+// falls back to a dynamically allocated event — unless the clock has moved
+// strictly past the dead arming's timestamp, which proves it was popped
+// (dead events are released at the heap top before any later-time event
+// runs) and the slot is safe to reuse again.
 func (p *Pipe) arm() {
 	head := &p.buf[p.head]
+	if p.stale {
+		if p.e.now > p.slot.at {
+			p.stale = false
+		} else {
+			ev := p.e.alloc()
+			ev.at = head.at
+			ev.seq = head.seq
+			ev.fn = nil
+			ev.afn = pipeFire
+			ev.arg = p
+			ev.dead = false
+			p.e.place(ev)
+			p.dyn = ev
+			p.dynGen = ev.gen
+			p.armed = true
+			return
+		}
+	}
 	ev := &p.slot
 	ev.at = head.at
 	ev.seq = head.seq
@@ -103,6 +136,10 @@ func (p *Pipe) arm() {
 // the pipe itself, so arming needs no per-pipe closure.
 func pipeFire(a any) {
 	p := a.(*Pipe)
+	// Whichever event carried this firing is popped and released by now; if
+	// it was the dynamic fallback, forget it so Flush cannot chase a recycled
+	// event.
+	p.dyn = nil
 	ent := p.pop()
 	if p.count > 0 {
 		p.arm()
@@ -110,6 +147,36 @@ func pipeFire(a any) {
 		p.armed = false
 	}
 	p.fn(ent.arg)
+}
+
+// Flush drops every queued entry, calling drop with each entry's arg (oldest
+// first) so callers can recycle pooled objects, and cancels the pending
+// delivery. It models a fault — a link going administratively down loses its
+// whole in-flight train — and is the one operation that kills the pipe's
+// armed slot without popping it; arm's stale protocol (see above) keeps the
+// scheduler consistent. The pipe remains usable: subsequent Posts deliver
+// normally.
+func (p *Pipe) Flush(drop func(arg any)) {
+	for i := 0; i < p.count; i++ {
+		ent := &p.buf[(p.head+i)&(len(p.buf)-1)]
+		if drop != nil {
+			drop(ent.arg)
+		}
+	}
+	p.head, p.count = 0, 0
+	if !p.armed {
+		return
+	}
+	p.armed = false
+	if p.dyn != nil {
+		if p.dyn.gen == p.dynGen {
+			p.dyn.dead = true
+		}
+		p.dyn = nil
+		return
+	}
+	p.slot.dead = true
+	p.stale = true
 }
 
 func (p *Pipe) push(ent pipeEntry) {

@@ -434,6 +434,10 @@ func (e *Engine) Reset(reclaim func(arg any)) {
 			}
 		}
 		p.head, p.count, p.armed = 0, 0, false
+		// A slot marked stale by Flush is fully released below (every heap,
+		// wheel and batch entry goes through release), so it is safe to reuse
+		// immediately, and any dynamic fallback event is recycled the same way.
+		p.stale, p.dyn = false, nil
 	}
 	if e.inBurst {
 		// Reset issued from inside a burst callback: drop the unexecuted

@@ -49,7 +49,11 @@ func (r *Receiver) BytesWritten() int64 {
 	return r.bytesOut
 }
 
-// Run processes packets until the socket is closed or the flow completes.
+// Run processes packets until the socket is closed. Flow completion closes
+// Done and answers every FIN with a fin-ack, but Run keeps reading — the
+// sender may need the confirmation re-sent if it was lost — so the caller
+// observes completion via Done and then closes the socket, which makes Run
+// return nil.
 func (r *Receiver) Run() error {
 	buf := make([]byte, 65536)
 	ackBuf := make([]byte, 1024)
@@ -75,7 +79,7 @@ func (r *Receiver) Run() error {
 			r.onData(h, payload)
 			r.sendAck(addr, ackBuf, h)
 		case typeFin:
-			_, total, err := decodeFin(buf[:n])
+			flowID, total, err := decodeFin(buf[:n])
 			if err != nil {
 				continue
 			}
@@ -84,8 +88,14 @@ func (r *Receiver) Run() error {
 			complete := r.cumAck >= r.total
 			r.mu.Unlock()
 			if complete {
+				// Confirm the close so the sender stops repeating the FIN,
+				// then linger: a lost fin-ack means more FIN copies arrive,
+				// and each must be answered or the sender gives up with a
+				// spurious error. The caller decides when the flow is truly
+				// over (Done has fired) and closes the socket, which ends
+				// this loop.
+				r.sendFinAck(addr, ackBuf, flowID)
 				r.finish()
-				return nil
 			}
 		}
 		r.mu.Lock()
@@ -93,7 +103,6 @@ func (r *Receiver) Run() error {
 		r.mu.Unlock()
 		if complete {
 			r.finish()
-			return nil
 		}
 	}
 }
@@ -175,6 +184,16 @@ func (r *Receiver) trimRanges() {
 		i++
 	}
 	r.ranges = r.ranges[i:]
+}
+
+// sendFinAck confirms a FIN: an ordinary ack whose EchoSeq is the fin-ack
+// sentinel, carrying the final cumulative ack.
+func (r *Receiver) sendFinAck(addr *net.UDPAddr, buf []byte, flowID uint32) {
+	r.mu.Lock()
+	a := Ack{FlowID: flowID, CumAck: r.cumAck, EchoSeq: finAckEcho}
+	r.mu.Unlock()
+	n := encodeAck(buf, a)
+	r.conn.WriteToUDP(buf[:n], addr)
 }
 
 func (r *Receiver) sendAck(addr *net.UDPAddr, buf []byte, h DataHeader) {

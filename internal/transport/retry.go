@@ -1,0 +1,45 @@
+package transport
+
+import "fmt"
+
+// Retry ceilings. The simulator can assume its packets eventually arrive;
+// the real-network transport cannot: a peer that vanished, a blackholed
+// route, or a firewall that eats one direction would otherwise leave the
+// sender retransmitting forever. Each stage of a flow's life has a bounded
+// retry budget, and exhausting it surfaces a RetryExceededError instead of
+// a silent hang.
+const (
+	// maxConnRetries bounds retransmissions while nothing has EVER been
+	// acknowledged — the establishment phase. A peer that answers nothing at
+	// all should fail fast, not after the full data budget.
+	maxConnRetries = 6
+	// maxDataRetries bounds retransmissions of any single data packet once
+	// the connection has shown signs of life.
+	maxDataRetries = 20
+	// rtoCeil caps the exponentially backed-off retransmission timeout,
+	// seconds. Backoff doubles per retry from the smoothed-RTT base but a
+	// single slow packet must not push the probe cadence into minutes.
+	rtoCeil = 2.0
+	// finGapCeil caps the exponentially backed-off gap between FIN repeats,
+	// seconds.
+	finGapCeil = 1.0
+)
+
+// RetryExceededError reports a flow that gave up after exhausting a retry
+// budget. Stage says which phase failed: "connect" (nothing was ever
+// acknowledged), "data" (one packet exceeded its retransmission budget
+// mid-flow), or "fin" (the close handshake was never confirmed; Seq is -1).
+type RetryExceededError struct {
+	Stage    string
+	FlowID   uint32
+	Seq      int64
+	Attempts int
+}
+
+func (e *RetryExceededError) Error() string {
+	if e.Stage == "fin" {
+		return fmt.Sprintf("transport: flow %d: fin unconfirmed after %d attempts", e.FlowID, e.Attempts)
+	}
+	return fmt.Sprintf("transport: flow %d: %s retry budget exhausted (seq %d, %d retransmissions)",
+		e.FlowID, e.Stage, e.Seq, e.Attempts)
+}

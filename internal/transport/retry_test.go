@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"pcc/internal/core"
+)
+
+// blackholeConn accepts every write and answers nothing — a peer that does
+// not exist. Reads block until the test closes the conn.
+type blackholeConn struct {
+	closed chan struct{}
+}
+
+func (c *blackholeConn) ReadFromUDP(b []byte) (int, *net.UDPAddr, error) {
+	<-c.closed
+	return 0, nil, net.ErrClosed
+}
+
+func (c *blackholeConn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
+	return len(b), nil
+}
+
+// TestRetryBudgetStages drives scheduleTailCheck directly through both
+// give-up stages: with nothing ever acknowledged the short establishment
+// budget applies ("connect"); once bytes have been acknowledged the data
+// budget applies ("data"). Packets still inside their budget must keep
+// being re-queued, not fail.
+func TestRetryBudgetStages(t *testing.T) {
+	mk := func() *Sender {
+		s, err := NewSender(nil, nil, core.DefaultConfig(0.01), bytes.NewReader(make([]byte, 4*MSS)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.start = time.Now()
+		s.nextSeq = int64(len(s.payloads))
+		for i := range s.sentAt {
+			s.sentAt[i] = s.now() - 100 // ancient: older than any backed-off RTO
+		}
+		return s
+	}
+
+	s := mk()
+	s.attempts[0] = maxConnRetries // at the establishment ceiling
+	s.scheduleTailCheck()
+	var re *RetryExceededError
+	select {
+	case <-s.failCh:
+	default:
+		t.Fatal("connect-stage budget exhaustion did not fail the flow")
+	}
+	if !errors.As(s.failErr, &re) || re.Stage != "connect" || re.Seq != 0 || re.Attempts != maxConnRetries {
+		t.Fatalf("failErr = %v, want connect-stage RetryExceededError for seq 0", s.failErr)
+	}
+
+	s = mk()
+	s.ackedBytes = MSS // the peer is alive: data budget applies
+	s.attempts[1] = maxConnRetries
+	s.attempts[2] = maxDataRetries
+	s.scheduleTailCheck()
+	select {
+	case <-s.failCh:
+	default:
+		t.Fatal("data-stage budget exhaustion did not fail the flow")
+	}
+	if !errors.As(s.failErr, &re) || re.Stage != "data" || re.Seq != 2 {
+		t.Fatalf("failErr = %v, want data-stage RetryExceededError for seq 2", s.failErr)
+	}
+	// Seq 1 is past the connect ceiling but inside the data budget: it must
+	// have been re-queued before seq 2 failed the flow.
+	found := false
+	for _, seq := range s.rtxQ {
+		found = found || seq == 1
+	}
+	if !found {
+		t.Error("seq 1 (within data budget) was not re-queued")
+	}
+}
+
+// TestRetryBackoffDelaysRequeue pins the exponential RTO: a packet that was
+// already retransmitted several times must not be re-marked at the base RTO,
+// only after the backed-off (and capped) one.
+func TestRetryBackoffDelaysRequeue(t *testing.T) {
+	s, err := NewSender(nil, nil, core.DefaultConfig(0.01), bytes.NewReader(make([]byte, 2*MSS)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.start = time.Now()
+	s.nextSeq = int64(len(s.payloads))
+	// Base RTO is 50 ms (floored); 4 prior attempts back it off to 800 ms.
+	// An 0.5 s old transmission is past the base but inside the backoff.
+	age := 0.5
+	for i := range s.sentAt {
+		s.sentAt[i] = s.now() - age
+	}
+	s.attempts[0] = 4
+	s.scheduleTailCheck()
+	for _, seq := range s.rtxQ {
+		if seq == 0 {
+			t.Fatal("backed-off packet re-marked at the base RTO")
+		}
+	}
+	if len(s.rtxQ) != 1 || s.rtxQ[0] != 1 {
+		t.Fatalf("rtxQ = %v, want just seq 1 (zero attempts, past base RTO)", s.rtxQ)
+	}
+	// The cap: with absurdly many attempts the RTO is rtoCeil, not hours, so
+	// a transmission older than the ceiling is still eligible — and at that
+	// attempt count the budget check fails the flow rather than re-queueing.
+	s2, err := NewSender(nil, nil, core.DefaultConfig(0.01), bytes.NewReader(make([]byte, MSS)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.start = time.Now()
+	s2.nextSeq = 1
+	s2.ackedBytes = MSS
+	s2.sentAt[0] = s2.now() - (rtoCeil + 0.5)
+	s2.attempts[0] = maxDataRetries + 3
+	s2.scheduleTailCheck()
+	select {
+	case <-s2.failCh:
+	default:
+		t.Fatal("capped RTO never elapsed: the ceiling is not applied")
+	}
+}
+
+// TestBlackholePeerFailsConnect sends a small flow into a peer that answers
+// nothing: the sender must give up with a connect-stage RetryExceededError
+// instead of retransmitting forever.
+func TestBlackholePeerFailsConnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhausts the establishment retry budget in wall-clock time")
+	}
+	conn := &blackholeConn{closed: make(chan struct{})}
+	t.Cleanup(func() { close(conn.closed) })
+	cfg := core.DefaultConfig(0.002)
+	cfg.InitialRate = 5e6
+	s, err := NewSender(conn, &net.UDPAddr{}, cfg, bytes.NewReader(make([]byte, 3*MSS)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Run() }()
+	select {
+	case err := <-errCh:
+		var re *RetryExceededError
+		if !errors.As(err, &re) {
+			t.Fatalf("Run returned %v, want RetryExceededError", err)
+		}
+		if re.Stage != "connect" {
+			t.Fatalf("Stage = %q, want connect (nothing was ever acked)", re.Stage)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sender still retransmitting into a blackhole after 30s")
+	}
+}
+
+// TestFinExhaustionSurfacesError swallows every FIN: the close handshake can
+// never be confirmed, so after the bounded exponentially-spaced repeats the
+// sender must return a fin-stage RetryExceededError (the data transfer
+// itself succeeded — Done fires first).
+func TestFinExhaustionSurfacesError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhausts the FIN retry budget in wall-clock time")
+	}
+	data := make([]byte, 20*1024)
+	rand.New(rand.NewSource(11)).Read(data)
+	sendConn, recvConn, peer := loopbackPair(t)
+	dataSide := &finDropConn{UDPConn: sendConn, drops: 1 << 30}
+
+	recv := NewReceiver(recvConn, &bytes.Buffer{})
+	go recv.Run()
+
+	cfg := core.DefaultConfig(0.002)
+	cfg.InitialRate = 5e6
+	s, err := NewSender(dataSide, peer, cfg, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Run() }()
+	select {
+	case <-s.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("data transfer did not complete")
+	}
+	select {
+	case err := <-errCh:
+		var re *RetryExceededError
+		if !errors.As(err, &re) || re.Stage != "fin" {
+			t.Fatalf("Run returned %v, want fin-stage RetryExceededError", err)
+		}
+		if re.Attempts != finRetries {
+			t.Fatalf("Attempts = %d, want %d", re.Attempts, finRetries)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sender never gave up on the unconfirmable FIN")
+	}
+	if seen := dataSide.finsSeen(); seen != finRetries {
+		t.Errorf("%d FINs sent, want exactly %d", seen, finRetries)
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"io"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -9,11 +10,11 @@ import (
 	"pcc/internal/core"
 )
 
-// finRetries bounds how many times the flow-terminating FIN is sent. The
-// FIN is the only packet the protocol never acknowledges, so a single lost
-// datagram would otherwise strand Receiver.Done forever; bounded repeats
-// spaced a couple of RTTs apart make that probability negligible without a
-// handshake.
+// finRetries bounds how many times the flow-terminating FIN is sent. Each
+// copy is confirmed by the receiver's fin-ack (EchoSeq == finAckEcho); the
+// repeats, exponentially spaced up to finGapCeil, only exist for the case
+// where FINs or fin-acks are being lost. Exhausting the budget without a
+// confirmation surfaces a RetryExceededError with Stage "fin".
 const finRetries = 10
 
 // Sender transmits a byte stream over UDP, paced at the rate the PCC
@@ -36,6 +37,7 @@ type Sender struct {
 	sacked   []bool
 	lost     []bool
 	sentAt   []float64 // time of the most recent (re)transmission, per seq
+	attempts []int     // retransmissions so far, per seq (first send not counted)
 	rtxQ     []int64
 	cumAck   int64
 	sackHigh int64
@@ -50,6 +52,17 @@ type Sender struct {
 
 	doneCh chan struct{}
 	once   sync.Once
+
+	// failCh is closed (with failErr set first) when a retry budget is
+	// exhausted; Run returns failErr instead of looping forever against a
+	// dead peer.
+	failCh   chan struct{}
+	failOnce sync.Once
+	failErr  error
+
+	// finAck is closed when the receiver confirms a FIN.
+	finAck     chan struct{}
+	finAckOnce sync.Once
 }
 
 // NewSender chunks the contents of r into packets and prepares a sender
@@ -67,6 +80,8 @@ func NewSender(conn UDPConn, peer *net.UDPAddr, cfg core.Config, r io.Reader) (*
 		flowID: 1,
 		pcc:    core.New(cfg, nil),
 		doneCh: make(chan struct{}),
+		failCh: make(chan struct{}),
+		finAck: make(chan struct{}),
 	}
 	buf := make([]byte, MSS)
 	for {
@@ -84,6 +99,7 @@ func NewSender(conn UDPConn, peer *net.UDPAddr, cfg core.Config, r io.Reader) (*
 	s.sacked = make([]bool, len(s.payloads))
 	s.lost = make([]bool, len(s.payloads))
 	s.sentAt = make([]float64, len(s.payloads))
+	s.attempts = make([]int, len(s.payloads))
 	return s, nil
 }
 
@@ -136,6 +152,8 @@ func (s *Sender) Run() error {
 		select {
 		case <-s.doneCh:
 			return s.sendFin()
+		case <-s.failCh:
+			return s.failErr
 		default:
 		}
 
@@ -172,33 +190,40 @@ func (s *Sender) Run() error {
 	}
 }
 
-// sendFin announces the flow length. The receiver never acknowledges a FIN,
-// so it is repeated on a timer — a couple of smoothed RTTs apart, bounded —
-// until the (unacknowledgeable) odds of every copy vanishing are nil. A
-// write error means the socket closed under us; the flow itself is already
-// fully acknowledged, so that is success, not failure.
+// sendFin announces the flow length and waits for the receiver's fin-ack.
+// Each unconfirmed copy is followed by an exponentially growing wait — the
+// first gap a couple of smoothed RTTs, doubling up to finGapCeil — and
+// exhausting the budget without a confirmation returns a typed
+// RetryExceededError. A write error means the socket closed under us; the
+// flow itself is already fully acknowledged, so that is success, not
+// failure.
 func (s *Sender) sendFin() error {
 	finBuf := make([]byte, 16)
 	n := encodeFin(finBuf, s.flowID, int64(len(s.payloads)))
+	s.mu.Lock()
+	gap := 2 * s.pcc.SRTT()
+	s.mu.Unlock()
+	if gap < 0.005 {
+		gap = 0.005
+	}
+	if gap > 0.1 {
+		gap = 0.1
+	}
 	for i := 0; i < finRetries; i++ {
 		if _, err := s.conn.WriteToUDP(finBuf[:n], s.peer); err != nil {
 			return nil
 		}
-		if i == finRetries-1 {
-			break // nothing to wait for after the last copy
+		select {
+		case <-s.finAck:
+			return nil
+		case <-time.After(time.Duration(gap * 1e9)):
 		}
-		s.mu.Lock()
-		gap := 2 * s.pcc.SRTT()
-		s.mu.Unlock()
-		if gap < 0.005 {
-			gap = 0.005
+		gap *= 2
+		if gap > finGapCeil {
+			gap = finGapCeil
 		}
-		if gap > 0.1 {
-			gap = 0.1
-		}
-		time.Sleep(time.Duration(gap * 1e9))
 	}
-	return nil
+	return &RetryExceededError{Stage: "fin", FlowID: s.flowID, Seq: -1, Attempts: finRetries}
 }
 
 // pickNextLocked returns the next retransmission or fresh packet, and
@@ -210,6 +235,7 @@ func (s *Sender) pickNextLocked() (int64, []byte, bool) {
 		if !s.sacked[seq] && s.lost[seq] {
 			s.lost[seq] = false
 			s.rtx++
+			s.attempts[seq]++
 			return seq, s.payloads[seq], true
 		}
 	}
@@ -222,25 +248,59 @@ func (s *Sender) pickNextLocked() (int64, []byte, bool) {
 }
 
 // scheduleTailCheck re-marks long-unacknowledged packets as lost when the
-// stream has drained (tail loss). Only packets older than an RTO are
+// stream has drained (tail loss). Only packets older than their RTO are
 // eligible — fresher ones may simply still be in flight, and re-marking
 // them on every 2 ms idle tick would turn the stream tail into a spurious
 // retransmission storm (each copy re-entering the queue before its
 // predecessor's ACK could possibly return).
+//
+// The RTO is per-sequence and exponentially backed off: base (2 smoothed
+// RTTs, floored) doubled per prior retransmission of that sequence, capped
+// at rtoCeil. A packet that would exceed its retry budget fails the flow
+// with a typed error instead of re-queueing: "connect" while nothing has
+// ever been acknowledged (the establishment budget is short), "data" after.
 func (s *Sender) scheduleTailCheck() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	rto := 2 * s.pcc.SRTT()
-	if rto < 0.05 {
-		rto = 0.05
+	base := 2 * s.pcc.SRTT()
+	if base < 0.05 {
+		base = 0.05
 	}
 	now := s.now()
+	var give *RetryExceededError
 	for seq := s.cumAck; seq < s.nextSeq; seq++ {
-		if !s.sacked[seq] && !s.lost[seq] && now-s.sentAt[seq] > rto {
-			s.lost[seq] = true
-			s.rtxQ = append(s.rtxQ, seq)
+		if s.sacked[seq] || s.lost[seq] {
+			continue
 		}
+		rto := math.Ldexp(base, s.attempts[seq])
+		if rto > rtoCeil {
+			rto = rtoCeil
+		}
+		if now-s.sentAt[seq] <= rto {
+			continue
+		}
+		limit, stage := maxDataRetries, "data"
+		if s.ackedBytes == 0 && s.cumAck == 0 {
+			limit, stage = maxConnRetries, "connect"
+		}
+		if s.attempts[seq] >= limit {
+			give = &RetryExceededError{Stage: stage, FlowID: s.flowID, Seq: seq, Attempts: s.attempts[seq]}
+			break
+		}
+		s.lost[seq] = true
+		s.rtxQ = append(s.rtxQ, seq)
 	}
+	s.mu.Unlock()
+	if give != nil {
+		s.fail(give)
+	}
+}
+
+// fail records the first fatal error and unblocks Run.
+func (s *Sender) fail(err error) {
+	s.failOnce.Do(func() {
+		s.failErr = err
+		close(s.failCh)
+	})
 }
 
 // ackLoop ingests acknowledgments.
@@ -263,6 +323,13 @@ func (s *Sender) ackLoop() {
 }
 
 func (s *Sender) onAck(a Ack) {
+	if a.EchoSeq == finAckEcho {
+		// The receiver confirmed a FIN; the flow was already fully
+		// acknowledged when the FIN went out, so there is no data feedback
+		// left to ingest.
+		s.finAckOnce.Do(func() { close(s.finAck) })
+		return
+	}
 	s.mu.Lock()
 	now := s.now()
 

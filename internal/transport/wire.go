@@ -45,6 +45,12 @@ const (
 	typeFin  byte = 0x03
 )
 
+// finAckEcho is the EchoSeq sentinel marking an ack as the receiver's answer
+// to a FIN rather than to a data packet. Data echoes are always >= 0, so the
+// sentinel cannot collide; the uint64 cast in encodeAck round-trips negative
+// values exactly.
+const finAckEcho int64 = -2
+
 // MSS is the data payload budget per packet. Headers add 23 bytes; the
 // default keeps total under a typical 1500-byte MTU.
 const MSS = 1400

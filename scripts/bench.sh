@@ -110,4 +110,12 @@ END {
 }
 ' "$RAW"
 
-echo "wrote $OUT (raw output in $RAW)"
+# The raw -bench output only matters for benchstat comparisons (CI sets
+# KEEP_RAW=1 for exactly that); a bare local run should leave just the JSON
+# snapshot behind, not accumulate BENCH_<n>.txt litter next to it.
+if [ "${KEEP_RAW:-0}" = "1" ]; then
+    echo "wrote $OUT (raw output in $RAW)"
+else
+    rm -f "$RAW"
+    echo "wrote $OUT"
+fi
