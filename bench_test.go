@@ -272,6 +272,34 @@ func BenchmarkWideChain(b *testing.B) {
 	}
 }
 
+// BenchmarkWANBuild isolates the generated-WAN construction path: transit-
+// stub graph generation, deterministic shortest-path routing for 200
+// stub-to-stub flows, and TopologySpec assembly — everything RunWAN does
+// once per report before any trial runs.
+func BenchmarkWANBuild(b *testing.B) {
+	b.ReportAllocs()
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		sh := exp.NewWANShape(100, 200, 1, 10, benchSeed)
+		nodes = sh.NumNodes()
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+}
+
+// BenchmarkWAN runs one benchmark-shaped wan trial (120 generated nodes,
+// 200 routed flows, 10 simulated seconds, backbone flap active) on a
+// prebuilt shape and warm arena, so it tracks the simulation cost of the
+// internet-scale scenario separately from its construction cost.
+func BenchmarkWAN(b *testing.B) {
+	sh := exp.NewWANShape(100, 200, 1, 10, benchSeed)
+	var ts exp.TrialScratch
+	var agg float64
+	for i := 0; i < b.N; i++ {
+		agg = exp.RunWANTrial(&ts, sh, 10, benchSeed)
+	}
+	b.ReportMetric(agg, "agg_Mbps")
+}
+
 func BenchmarkTheoryConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep := exp.RunTheory(benchScale, benchSeed)

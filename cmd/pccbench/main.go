@@ -40,18 +40,25 @@ var (
 	seed       = flag.Int64("seed", 42, "root RNG seed")
 	par        = flag.Int("par", 0, "worker goroutines per experiment (0 = auto: PCC_PAR env, then GOMAXPROCS; 1 = sequential)")
 	shards     = flag.Int("shards", 0, "max conservative engine shards per trial (0 = auto: PCC_SHARDS env, then 1)")
+	nodes      = flag.Int("nodes", 0, "target node count for generated-topology experiments (0 = auto: PCC_NODES env, then scale-derived)")
+	flows      = flag.Int("flows", 0, "target concurrent flow count for generated-topology experiments (0 = auto: PCC_FLOWS env, then scale-derived)")
 	list       = flag.Bool("list", false, "list experiment ids and exit")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 )
 
-// applyKnobs pushes the parsed parallelism flags into exp's process-wide
-// overrides. Every driver fans its independent trials out over exp's worker
-// pool and shards opted-in topologies across engines; results are
-// bit-identical at any worker or shard count.
+// applyKnobs pushes the parsed parallelism and scale flags into exp's
+// process-wide overrides. Every driver fans its independent trials out over
+// exp's worker pool and shards opted-in topologies across engines; results
+// are bit-identical at any worker or shard count. -nodes/-flows pin the
+// size of generated-topology experiments (wan) independently of -scale —
+// unlike the parallelism knobs, they change what is simulated, so they
+// change the report.
 func applyKnobs() {
 	exp.SetWorkers(*par)
 	exp.SetShards(*shards)
+	exp.SetNodes(*nodes)
+	exp.SetFlows(*flows)
 }
 
 func main() {

@@ -25,6 +25,7 @@ func TestListGolden(t *testing.T) {
 		"revpath",
 		"table1",
 		"theory",
+		"wan",
 		"widechain",
 	}
 	got := exp.IDs()
@@ -62,5 +63,43 @@ func TestShardsFlag(t *testing.T) {
 	}
 	if got := exp.Workers(); got != 2 {
 		t.Errorf("after -par 2, exp.Workers() = %d, want 2", got)
+	}
+}
+
+// TestScaleFlags pins the -nodes/-flows → exp.SetNodes/SetFlows plumbing:
+// the generated-topology size knobs ride through applyKnobs exactly like
+// the parallelism flags, and resetting them restores the scale-derived
+// default (exp.Nodes()/Flows() report 0 = no override).
+func TestScaleFlags(t *testing.T) {
+	defer func() {
+		exp.SetNodes(0)
+		exp.SetFlows(0)
+		if err := flag.Set("nodes", "0"); err != nil {
+			t.Error(err)
+		}
+		if err := flag.Set("flows", "0"); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := flag.Set("nodes", "120"); err != nil {
+		t.Fatal(err)
+	}
+	if err := flag.Set("flows", "1500"); err != nil {
+		t.Fatal(err)
+	}
+	applyKnobs()
+	if got := exp.Nodes(); got != 120 {
+		t.Errorf("after -nodes 120, exp.Nodes() = %d, want 120", got)
+	}
+	if got := exp.Flows(); got != 1500 {
+		t.Errorf("after -flows 1500, exp.Flows() = %d, want 1500", got)
+	}
+	exp.SetNodes(0)
+	exp.SetFlows(0)
+	if got := exp.Nodes(); got != 0 {
+		t.Errorf("after reset, exp.Nodes() = %d, want 0 (scale-derived)", got)
+	}
+	if got := exp.Flows(); got != 0 {
+		t.Errorf("after reset, exp.Flows() = %d, want 0 (scale-derived)", got)
 	}
 }

@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"pcc/internal/netem"
 	"pcc/internal/sim"
 	"pcc/internal/tcp"
+	"pcc/internal/topogen"
 )
 
 // LinkSpec describes one directed link of a TopologySpec.
@@ -41,6 +43,12 @@ type LinkSpec struct {
 // dumbbell cannot express: multiple bottlenecks in series, congested ACK
 // paths, cross-traffic on interior links. Flows on a topology runner carry
 // explicit routes in their FlowSpec (FwdRoute/RevRoute).
+//
+// Specs need not be hand-written: GraphSpec converts a topogen-generated
+// graph (fat-tree, transit-stub WAN, LEO chain, delay-matrix mesh) into a
+// TopologySpec carrying the generator's links and shard hints, and
+// topogen.Router computes the matching deterministic FwdRoute/RevRoute hop
+// chains — the construction path of the internet-scale experiments.
 type TopologySpec struct {
 	// Links are created in order; each draws one RNG stream from the root
 	// seed for its wire-loss process, so adding a link never perturbs the
@@ -68,6 +76,14 @@ type TopologySpec struct {
 	// opposite endpoint, so a fault never has to reach across engines
 	// mid-run; cross-shard lookahead stays the static topology minimum.
 	Faults *netem.FaultSchedule
+	// ShardHints, when non-nil, biases the shard partitioning: nodes
+	// sharing a hint value are contracted onto one shard like zero-delay
+	// neighborhoods (see netem.PartitionNodesHinted). Generators emit
+	// their locality structure here — a fat-tree pod, a transit domain
+	// with its stubs, a LEO segment — so cut edges fall only on the
+	// wide-delay inter-group links. Hints compose with fault pins and are
+	// placement-only: results stay byte-identical with or without them.
+	ShardHints map[string]int
 }
 
 // PathSpec describes the shared bottleneck of a dumbbell.
@@ -201,6 +217,11 @@ type Runner struct {
 	// reqShards is the TopologySpec.Shards this runner was built under;
 	// a different request forces a rebuild (engines are pinned at build).
 	reqShards int
+	// shardHints is the TopologySpec.ShardHints the runner was built
+	// under; a different hint map implies a different partition, hence a
+	// rebuild (compared with maps.Equal — drivers reuse one hint map
+	// across trials, so the common respec compares an identical map).
+	shardHints map[string]int
 	// rands recycles driver-requested RNG streams (NextRand) across trials.
 	rands   []*rand.Rand
 	randIdx int
@@ -321,14 +342,14 @@ func NewRunner(p PathSpec) *Runner {
 // the same order, so results never depend on the shard count.
 func NewTopologyRunner(ts TopologySpec) *Runner {
 	seeds := sim.NewSeeds(ts.Seed)
-	r := &Runner{Seeds: seeds, Path: PathSpec{Seed: ts.Seed}, reqShards: ts.Shards}
+	r := &Runner{Seeds: seeds, Path: PathSpec{Seed: ts.Seed}, reqShards: ts.Shards, shardHints: ts.ShardHints}
 	if ts.Shards > 1 {
 		edges := make([]netem.Edge, len(ts.Links))
 		for i, ls := range ts.Links {
 			edges[i] = netem.Edge{From: ls.From, To: ls.To, Delay: ls.Delay}
 		}
 		edges = appendFaultPins(edges, ts)
-		if assign, n, lookahead := netem.PartitionNodes(edges, ts.Shards); n > 1 {
+		if assign, n, lookahead := netem.PartitionNodesHinted(edges, ts.Shards, ts.ShardHints); n > 1 {
 			group := sim.NewShardGroup(n, lookahead)
 			pools := make([]*netem.PacketPool, n)
 			engines := make([]*sim.Engine, n)
@@ -362,6 +383,21 @@ func NewTopologyRunner(ts TopologySpec) *Runner {
 	r.faultSig = faultSig(ts.Faults)
 	r.installFaults(ts.Faults)
 	return r
+}
+
+// GraphSpec converts a topogen-generated graph into a TopologySpec: links
+// copied in add order (droptail queues) with the generator's shard hints
+// carried through. Drivers build it once per experiment variant and stamp
+// Seed/Shards/Faults per trial — the link slice and hint map may be shared
+// read-only across trials and workers, which keeps warm arena trials
+// allocation-free.
+func GraphSpec(g *topogen.Graph, seed int64, shards int) TopologySpec {
+	links := make([]LinkSpec, g.NumLinks())
+	for i, l := range g.Links() {
+		links[i] = LinkSpec{Name: l.Name, From: l.From, To: l.To,
+			RateMbps: l.RateMbps, Delay: l.Delay, Loss: l.Loss, BufBytes: l.BufBytes}
+	}
+	return TopologySpec{Links: links, Seed: seed, Shards: shards, ShardHints: g.ShardHints()}
 }
 
 // appendFaultPins adds zero-delay pin edges for every link a fault schedule
@@ -493,6 +529,10 @@ func (r *Runner) respecTopology(ts TopologySpec) bool {
 	if r.Net != nil || len(r.linkShape) != len(ts.Links) || r.reqShards != ts.Shards {
 		return false
 	}
+	if !maps.Equal(r.shardHints, ts.ShardHints) {
+		// Different hints imply a different node partition: rebuild.
+		return false
+	}
 	if r.faultSig != faultSig(ts.Faults) {
 		// A different fault target set implies different shard pins (and a
 		// fresh runner draws or skips the jitter stream accordingly): rebuild.
@@ -514,8 +554,11 @@ func (r *Runner) respecTopology(ts TopologySpec) bool {
 		r.Eng.Reset(r.reclaim)
 	}
 	r.Seeds.Reset(ts.Seed)
-	for _, ls := range ts.Links {
-		l := r.Topo.LinkByName(ls.Name)
+	for i, ls := range ts.Links {
+		// Shape was verified name-by-name above, so the rewind indexes links
+		// by registration order — no per-link map probe on a path that runs
+		// once per trial over potentially thousands of links.
+		l := r.Topo.LinkAt(i)
 		if !resetQueue(l.Queue, ls.QueueKind, ls.BufBytes, r.PktPool) {
 			return false
 		}
@@ -813,15 +856,19 @@ func (r *Runner) AddFlow(spec FlowSpec) *Flow {
 	// first link and the head of the last link on the forward route.
 	srcNode, dstNode := "", ""
 	if topoFlow && !r.faultSpec.Empty() {
+		first, last := "", ""
 		for _, hs := range spec.FwdRoute {
 			if hs.Link == "" {
 				continue
 			}
-			from, to := r.Topo.LinkEnds(hs.Link)
-			if srcNode == "" {
-				srcNode = from
+			if first == "" {
+				first = hs.Link
 			}
-			dstNode = to
+			last = hs.Link
+		}
+		if first != "" {
+			srcNode, _ = r.Topo.LinkEnds(first)
+			_, dstNode = r.Topo.LinkEnds(last)
 		}
 	}
 	sEng, rEng := r.Engines[sShard], r.Engines[rShard]
@@ -996,6 +1043,17 @@ func (r *Runner) setWindowSender(f *Flow, algo cc.WindowAlgo, eng *sim.Engine) {
 	f.ackSink = f.WS.OnAck
 }
 
+// maxPerLinkNotes is the report threshold between per-link notes and the
+// aggregate conservation summary: topologies up to this many links list
+// every link; generated topologies above it (a transit-stub WAN has
+// hundreds) get totals plus the loss-heaviest links, because a per-link
+// dump would drown the report.
+const maxPerLinkNotes = 20
+
+// topOffenderNotes is how many loss-heaviest links the aggregate summary
+// names individually.
+const topOffenderNotes = 5
+
 // LinkStatsNotes renders the runner's per-link accounting as report notes
 // (AddLink order, so output is deterministic).
 func (r *Runner) LinkStatsNotes() []string {
@@ -1003,8 +1061,12 @@ func (r *Runner) LinkStatsNotes() []string {
 }
 
 // LinkStatsNotesInto is LinkStatsNotes appending into dst[:0], reusing its
-// backing array (the note strings themselves still allocate).
+// backing array (the note strings themselves still allocate). Topologies
+// with more than maxPerLinkNotes links delegate to the aggregate summary.
 func (r *Runner) LinkStatsNotesInto(dst []string) []string {
+	if r.Topo.NumLinks() > maxPerLinkNotes {
+		return r.ConservationNotesInto(dst, topOffenderNotes)
+	}
 	dst = dst[:0]
 	for _, s := range r.Topo.Stats() {
 		dst = append(dst, fmt.Sprintf("link %s: delivered=%d wire_lost=%d queue_dropped=%d",
@@ -1017,12 +1079,78 @@ func (r *Runner) LinkStatsNotesInto(dst []string) []string {
 // and the conservation verdict, appending into dst[:0]. Chaos drivers use it
 // instead of LinkStatsNotesInto so every down/up and partition/heal
 // transition is auditable in the report (and a conservation violation is
-// visible as conserved=false rather than silently wrong goodput).
+// visible as conserved=false rather than silently wrong goodput). Topologies
+// with more than maxPerLinkNotes links delegate to the aggregate summary,
+// which still names every non-conserved link.
 func (r *Runner) FaultStatsNotesInto(dst []string) []string {
+	if r.Topo.NumLinks() > maxPerLinkNotes {
+		return r.ConservationNotesInto(dst, topOffenderNotes)
+	}
 	dst = dst[:0]
 	for _, s := range r.Topo.Stats() {
 		dst = append(dst, fmt.Sprintf("link %s: delivered=%d wire_lost=%d queue_dropped=%d fault_dropped=%d conserved=%v",
 			s.Name, s.Delivered, s.WireLost, s.QueueDropped, s.FaultDropped, s.Conserved()))
+	}
+	return dst
+}
+
+// ConservationNotesInto renders the byte-conservation audit for large
+// topologies, appending into dst[:0]: one aggregate line (link count,
+// conserved/violated split, byte totals per ledger term), the topK
+// loss-heaviest links (by wire-lost + queue-dropped + fault-dropped bytes,
+// AddLink order on ties — deterministic), and one line per non-conserved
+// link with its full ledger, so a violation is never hidden by the
+// summarization. Topologies at or under maxPerLinkNotes links fall back to
+// the per-link fault notes.
+func (r *Runner) ConservationNotesInto(dst []string, topK int) []string {
+	stats := r.Topo.Stats()
+	if len(stats) <= maxPerLinkNotes {
+		return r.FaultStatsNotesInto(dst)
+	}
+	dst = dst[:0]
+	var delivered, wireLost, queueDropped, faultDropped int64
+	violated := 0
+	for i := range stats {
+		s := &stats[i]
+		delivered += s.DeliveredBytes
+		wireLost += s.WireLostBytes
+		queueDropped += s.QueueDroppedBytes
+		faultDropped += s.FaultDroppedBytes
+		if !s.Conserved() {
+			violated++
+		}
+	}
+	dst = append(dst, fmt.Sprintf(
+		"links: %d total, %d conserved, %d violated; bytes delivered=%d wire_lost=%d queue_dropped=%d fault_dropped=%d",
+		len(stats), len(stats)-violated, violated, delivered, wireLost, queueDropped, faultDropped))
+
+	lossBytes := func(s *netem.LinkStats) int64 {
+		return s.WireLostBytes + s.QueueDroppedBytes + s.FaultDroppedBytes
+	}
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return lossBytes(&stats[order[a]]) > lossBytes(&stats[order[b]])
+	})
+	for k := 0; k < topK && k < len(order); k++ {
+		s := &stats[order[k]]
+		if lossBytes(s) == 0 {
+			break
+		}
+		dst = append(dst, fmt.Sprintf(
+			"top_loss %d: link %s: wire_lost_B=%d queue_dropped_B=%d fault_dropped_B=%d delivered_B=%d conserved=%v",
+			k+1, s.Name, s.WireLostBytes, s.QueueDroppedBytes, s.FaultDroppedBytes, s.DeliveredBytes, s.Conserved()))
+	}
+	for i := range stats {
+		s := &stats[i]
+		if s.Conserved() {
+			continue
+		}
+		dst = append(dst, fmt.Sprintf(
+			"VIOLATED link %s: offered_B=%d delivered_B=%d wire_lost_B=%d queue_dropped_B=%d fault_dropped_B=%d queued_B=%d tx_B=%d",
+			s.Name, s.OfferedBytes, s.DeliveredBytes, s.WireLostBytes, s.QueueDroppedBytes, s.FaultDroppedBytes, s.QueuedBytes, s.TxBytes))
 	}
 	return dst
 }

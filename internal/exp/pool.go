@@ -89,6 +89,63 @@ func Shards() int {
 	return 1
 }
 
+// nodeOverride holds the SetNodes value; 0 means "not set".
+var nodeOverride atomic.Int64
+
+// flowOverride holds the SetFlows value; 0 means "not set".
+var flowOverride atomic.Int64
+
+// SetNodes overrides the node count generated-topology experiments target
+// (cmd/pccbench's -nodes flag). n <= 0 restores automatic resolution
+// (PCC_NODES, then the experiment's scale-derived default). Generators
+// round the target to the nearest structurally valid size, so the built
+// topology may differ slightly from the request.
+func SetNodes(n int) {
+	if n < 0 {
+		n = 0
+	}
+	nodeOverride.Store(int64(n))
+}
+
+// Nodes returns the node-count override for generated-topology experiments;
+// 0 means "no override, derive from scale".
+func Nodes() int {
+	if n := int(nodeOverride.Load()); n > 0 {
+		return n
+	}
+	if s := os.Getenv("PCC_NODES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// SetFlows overrides the concurrent flow count generated-topology
+// experiments target (cmd/pccbench's -flows flag). n <= 0 restores
+// automatic resolution (PCC_FLOWS, then the experiment's scale-derived
+// default).
+func SetFlows(n int) {
+	if n < 0 {
+		n = 0
+	}
+	flowOverride.Store(int64(n))
+}
+
+// Flows returns the flow-count override for generated-topology experiments;
+// 0 means "no override, derive from scale".
+func Flows() int {
+	if n := int(flowOverride.Load()); n > 0 {
+		return n
+	}
+	if s := os.Getenv("PCC_FLOWS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
 // gcRelax widens the garbage collector's heap-growth target while trials
 // run. Every trial builds and discards a complete simulation (engine,
 // windows, RNG states, packet pools), so an experiment sweep allocates tens

@@ -33,6 +33,7 @@ var drivers = map[string]Driver{
 	"parklot":   RunParkingLot,
 	"partition": RunPartition,
 	"revpath":   RunRevPath,
+	"wan":       RunWAN,
 	"mixmtu":    RunMixMTU,
 	"widechain": RunWideChain,
 }

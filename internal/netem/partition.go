@@ -32,6 +32,18 @@ type Edge struct {
 // is not worthwhile (maxShards < 2 or the zero-delay contraction leaves a
 // single cluster).
 func PartitionNodes(edges []Edge, maxShards int) (map[string]int, int, float64) {
+	return PartitionNodesHinted(edges, maxShards, nil)
+}
+
+// PartitionNodesHinted is PartitionNodes with generator-produced locality
+// hints: nodes sharing a hint value are contracted onto one cluster exactly
+// like zero-delay neighborhoods, so a topology generator's structure (a
+// fat-tree pod, a transit domain with its stubs, a LEO segment) survives
+// into the shard layout and cut edges fall only on the wide-delay
+// inter-group links. Nodes absent from hints keep their own cluster; a nil
+// map is plain PartitionNodes. Fault pins (zero-delay edges) compose with
+// hints — both are union-find contractions.
+func PartitionNodesHinted(edges []Edge, maxShards int, hints map[string]int) (map[string]int, int, float64) {
 	if maxShards < 2 {
 		return nil, 1, 0
 	}
@@ -73,18 +85,37 @@ func PartitionNodes(edges []Edge, maxShards int) (map[string]int, int, float64) 
 		}
 		return x
 	}
-	for _, e := range edges {
-		if e.Delay > 0 {
-			continue
-		}
-		a, b := find(idx[e.From]), find(idx[e.To])
+	union := func(x, y int) {
+		a, b := find(x), find(y)
 		if a == b {
-			continue
+			return
 		}
 		if a < b {
 			parent[b] = a
 		} else {
 			parent[a] = b
+		}
+	}
+	for _, e := range edges {
+		if e.Delay > 0 {
+			continue
+		}
+		union(idx[e.From], idx[e.To])
+	}
+	if hints != nil {
+		// Union each hint group onto its first-appearing member. Iterating
+		// names (not the map) keeps the contraction order deterministic.
+		hintRoot := make(map[int]int)
+		for i, name := range names {
+			h, ok := hints[name]
+			if !ok {
+				continue
+			}
+			if r, seen := hintRoot[h]; seen {
+				union(i, r)
+			} else {
+				hintRoot[h] = i
+			}
 		}
 	}
 

@@ -112,4 +112,50 @@ func TestPartitionDisconnectedLookahead(t *testing.T) {
 	}
 }
 
+func TestPartitionHintsGroupNodes(t *testing.T) {
+	// 8-node chain, uniform 2 ms delays: without hints 4 shards slice it
+	// 2-2-2-2; hints pairing (0,1)(2,3)(4,5)(6,7) into two groups each must
+	// contract to 2 shards with the cut at the group boundary.
+	var edges []Edge
+	for i := 0; i < 7; i++ {
+		edges = append(edges,
+			Edge{From: node(i), To: node(i + 1), Delay: 2e-3},
+			Edge{From: node(i + 1), To: node(i), Delay: 2e-3})
+	}
+	hints := map[string]int{}
+	for i := 0; i < 8; i++ {
+		hints[node(i)] = i / 4
+	}
+	assign, shards, lookahead := PartitionNodesHinted(edges, 4, hints)
+	if shards != 2 {
+		t.Fatalf("shards = %d, want 2 (two hint groups)", shards)
+	}
+	for i := 0; i < 8; i++ {
+		if want := i / 4; assign[node(i)] != want {
+			t.Fatalf("node %d on shard %d, want %d", i, assign[node(i)], want)
+		}
+	}
+	if lookahead != 2e-3 {
+		t.Fatalf("lookahead = %v, want 2e-3", lookahead)
+	}
+
+	// A zero-delay fault pin across the hint boundary merges the groups:
+	// hints and pins are both contractions and must compose.
+	pinned := append(edges, Edge{From: node(3), To: node(4)})
+	if assign, shards, _ := PartitionNodesHinted(pinned, 4, hints); assign != nil || shards != 1 {
+		t.Fatalf("pin across hint boundary should collapse to one cluster, got %v %d", assign, shards)
+	}
+
+	// Unhinted nodes keep their own clusters: hinting only the first half
+	// leaves the tail sliceable.
+	half := map[string]int{}
+	for i := 0; i < 4; i++ {
+		half[node(i)] = 0
+	}
+	_, shards, _ = PartitionNodesHinted(edges, 4, half)
+	if shards < 2 {
+		t.Fatalf("partially hinted chain should still shard, got %d", shards)
+	}
+}
+
 func node(i int) string { return fmt.Sprintf("n%d", i) }

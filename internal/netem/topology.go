@@ -35,8 +35,16 @@ type Topology struct {
 	// belong to the same engine/goroutine as the topology.
 	Pool *PacketPool
 
-	links  []*linkInfo
-	byName map[string]*linkInfo
+	links   []*linkInfo
+	linkIdx map[string]int
+	// Node names are interned to dense integer ids at first sight (AddLink
+	// endpoint order): per-node state lives in slices indexed by that id,
+	// so construction and respec at generated-topology scale (hundreds of
+	// nodes, thousands of links) do integer indexing on the hot paths while
+	// the public API stays string-keyed.
+	nodeIdx    map[string]int
+	nodeNames  []string
+	nodeShards []int
 	// flows is indexed by flow id. Flow ids are required to be small
 	// non-negative integers (the harness hands out 0,1,2,…) precisely so
 	// the per-packet route lookups here and in linkInfo are direct slice
@@ -49,10 +57,12 @@ type Topology struct {
 	// mailbox — always under a propagation delay >= lookahead. nil group
 	// means the classic single-engine topology; all sharded fields are then
 	// unused and every shard index resolves to 0.
-	group     *sim.ShardGroup
-	nodeShard map[string]int
-	pools     []*PacketPool // per-shard free lists, indexed by shard
-	lookahead float64
+	group *sim.ShardGroup
+	// shardAssign is the node→shard plan handed to Shard, consulted once
+	// per node when the name is interned (absent names mean shard 0).
+	shardAssign map[string]int
+	pools       []*PacketPool // per-shard free lists, indexed by shard
+	lookahead   float64
 }
 
 // Shard switches the topology to sharded mode: node name → shard index per
@@ -68,19 +78,39 @@ func (t *Topology) Shard(group *sim.ShardGroup, nodeShard map[string]int, pools 
 		panic(fmt.Sprintf("netem: %d shards but %d pools", group.Len(), len(pools)))
 	}
 	t.group = group
-	t.nodeShard = nodeShard
+	t.shardAssign = nodeShard
 	t.pools = pools
 	t.lookahead = group.Lookahead()
 	t.Eng = group.Engine(0)
 	t.Pool = pools[0]
 }
 
+// nodeID interns a node name, assigning its dense id and shard on first
+// sight.
+func (t *Topology) nodeID(name string) int {
+	if i, ok := t.nodeIdx[name]; ok {
+		return i
+	}
+	i := len(t.nodeNames)
+	t.nodeIdx[name] = i
+	t.nodeNames = append(t.nodeNames, name)
+	shard := 0
+	if t.shardAssign != nil {
+		shard = t.shardAssign[name]
+	}
+	t.nodeShards = append(t.nodeShards, shard)
+	return i
+}
+
 // NodeShard returns the shard a node lives on (0 when unsharded or unknown).
 func (t *Topology) NodeShard(node string) int {
-	if t.nodeShard == nil {
+	if i, ok := t.nodeIdx[node]; ok {
+		return t.nodeShards[i]
+	}
+	if t.shardAssign == nil {
 		return 0
 	}
-	return t.nodeShard[node]
+	return t.shardAssign[node]
 }
 
 // engineFor returns the engine of a shard (the topology engine when
@@ -118,22 +148,33 @@ func (t *Topology) recycle(shard int, p *Packet) {
 // and receiver on the engines their packets are injected at and delivered
 // to.
 func (t *Topology) RouteEnds(specs []HopSpec) (entry, exit int) {
-	seen := false
-	for _, hs := range specs {
-		if hs.Link == "" {
+	first, last := "", ""
+	for i := range specs {
+		if specs[i].Link == "" {
 			continue
 		}
-		li := t.byName[hs.Link]
-		if li == nil {
-			panic(fmt.Sprintf("netem: RouteEnds over unknown link %q", hs.Link))
+		if first == "" {
+			first = specs[i].Link
 		}
-		if !seen {
-			entry = li.shard
-			seen = true
-		}
-		exit = li.sinkShard
+		last = specs[i].Link
 	}
-	return entry, exit
+	if first == "" {
+		return 0, 0
+	}
+	// Two name probes total, not one per hop — RouteEnds runs once per
+	// flow per trial, which at generated-topology scale is thousands of
+	// routes with hundreds of hops between them.
+	fi := t.linkAt(first)
+	if fi == nil {
+		panic(fmt.Sprintf("netem: RouteEnds over unknown link %q", first))
+	}
+	li := fi
+	if last != first {
+		if li = t.linkAt(last); li == nil {
+			panic(fmt.Sprintf("netem: RouteEnds over unknown link %q", last))
+		}
+	}
+	return fi.shard, li.sinkShard
 }
 
 // linkInfo is a Link plus its place in the graph and the per-flow routing
@@ -142,6 +183,8 @@ type linkInfo struct {
 	link     *Link
 	name     string
 	from, to string
+	// fromID/toID are the interned endpoint ids (see Topology.nodeID).
+	fromID, toID int
 	// shard/sinkShard are the link's endpoint shards (both 0 unsharded):
 	// the link object lives on shard's engine; dispatch runs on sinkShard's
 	// (via the group mailbox when they differ).
@@ -330,9 +373,18 @@ func LossyDelayHop(delay, loss float64) HopSpec { return HopSpec{Delay: delay, L
 // NewTopology returns an empty topology on the given engine.
 func NewTopology(eng *sim.Engine) *Topology {
 	return &Topology{
-		Eng:    eng,
-		byName: map[string]*linkInfo{},
+		Eng:     eng,
+		linkIdx: map[string]int{},
+		nodeIdx: map[string]int{},
 	}
+}
+
+// linkAt resolves a link name to its info, nil when absent.
+func (t *Topology) linkAt(name string) *linkInfo {
+	if i, ok := t.linkIdx[name]; ok {
+		return t.links[i]
+	}
+	return nil
 }
 
 // AddLink creates the directed link from→to and registers it under name.
@@ -340,11 +392,12 @@ func NewTopology(eng *sim.Engine) *Topology {
 // loss process only; nil disables random loss. If UsePool was already
 // called, the new link joins the pool.
 func (t *Topology) AddLink(name, from, to string, q Queue, rateBps, delay, lossRate float64, rng *rand.Rand) *Link {
-	if t.byName[name] != nil {
+	if _, dup := t.linkIdx[name]; dup {
 		panic(fmt.Sprintf("netem: duplicate link %q", name))
 	}
-	sFrom, sTo := t.NodeShard(from), t.NodeShard(to)
-	li := &linkInfo{name: name, from: from, to: to, shard: sFrom, sinkShard: sTo}
+	fromID, toID := t.nodeID(from), t.nodeID(to)
+	sFrom, sTo := t.nodeShards[fromID], t.nodeShards[toID]
+	li := &linkInfo{name: name, from: from, to: to, fromID: fromID, toID: toID, shard: sFrom, sinkShard: sTo}
 	li.link = NewLink(t.engineFor(sFrom), q, rateBps, delay, lossRate, rng)
 	li.link.Sink = func(p *Packet) { li.dispatch(t, p) }
 	if sFrom != sTo {
@@ -363,19 +416,30 @@ func (t *Topology) AddLink(name, from, to string, q Queue, rateBps, delay, lossR
 		li.link.Pool = t.Pool
 		queueUsePool(q, t.Pool)
 	}
+	t.linkIdx[name] = len(t.links)
 	t.links = append(t.links, li)
-	t.byName[name] = li
 	return li.link
 }
 
 // LinkByName returns the named link (nil if absent), for runtime parameter
 // changes and per-link assertions.
 func (t *Topology) LinkByName(name string) *Link {
-	if li := t.byName[name]; li != nil {
+	if li := t.linkAt(name); li != nil {
 		return li.link
 	}
 	return nil
 }
+
+// NumLinks returns the registered link count.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// LinkAt returns link i in AddLink order — the index-based counterpart of
+// LinkByName for respec loops that already know registration order, so a
+// thousand-link rewind does integer indexing instead of map probes.
+func (t *Topology) LinkAt(i int) *Link { return t.links[i].link }
+
+// NumNodes returns the interned node count (link endpoints seen so far).
+func (t *Topology) NumNodes() int { return len(t.nodeNames) }
 
 // queueUsePool wires a free list into the queue kinds that drop packets at
 // dequeue time (enqueue-time rejections are recycled by the Link).
@@ -588,7 +652,7 @@ func (t *Topology) buildRoute(id int, ack bool, specs []HopSpec, rng *Rng, sink 
 			if hs.Delay != 0 || hs.Loss != 0 {
 				panic(fmt.Sprintf("netem: flow %d hop over link %q also sets Delay/Loss (a link hop uses the Link's own parameters; add a separate delay hop)", id, hs.Link))
 			}
-			li := t.byName[hs.Link]
+			li := t.linkAt(hs.Link)
 			if li == nil {
 				panic(fmt.Sprintf("netem: flow %d routes over unknown link %q", id, hs.Link))
 			}
@@ -706,7 +770,7 @@ func (t *Topology) SendAck(p *Packet) {
 // an unknown name: callers resolving fault targets or flow endpoints cannot
 // proceed with a silent miss.
 func (t *Topology) LinkEnds(name string) (from, to string) {
-	li := t.byName[name]
+	li := t.linkAt(name)
 	if li == nil {
 		panic(fmt.Sprintf("netem: LinkEnds of unknown link %q", name))
 	}

@@ -1,0 +1,128 @@
+package topogen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleMatrix = `# three-site sample, RTT in ms
+nyc lon fra
+0    70.2 81.0
+70.2 0    12.6
+81.0 -    0
+`
+
+func TestParseDelayMatrix(t *testing.T) {
+	m, err := ParseDelayMatrix([]byte(sampleMatrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Names) != 3 || m.Names[1] != "lon" {
+		t.Fatalf("names = %v", m.Names)
+	}
+	if got, want := m.RTT[0][1], 0.0702; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RTT[0][1] = %v, want %v", got, want)
+	}
+	if m.RTT[2][1] != -1 {
+		t.Fatalf("RTT[2][1] = %v, want -1 (unmeasured)", m.RTT[2][1])
+	}
+	if m.RTT[1][1] != 0 {
+		t.Fatalf("diagonal must be 0, got %v", m.RTT[1][1])
+	}
+}
+
+func TestParseDelayMatrixErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"one name":      "solo\n0\n",
+		"dup name":      "a a\n0 1\n1 0\n",
+		"short row":     "a b\n0\n1 0\n",
+		"missing row":   "a b\n0 1\n",
+		"extra row":     "a b\n0 1\n1 0\n2 2\n",
+		"bad float":     "a b\n0 xyz\n1 0\n",
+		"non-finite":    "a b\n0 Inf\n1 0\n",
+		"comments only": "# nothing here\n\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseDelayMatrix([]byte(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMeshGraph(t *testing.T) {
+	m, err := ParseDelayMatrix([]byte(sampleMatrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.MeshGraph(500, 1<<18)
+	if got, want := g.NumNodes(), 3; got != want {
+		t.Fatalf("nodes = %d, want %d", got, want)
+	}
+	// All three pairs measured in at least one direction → 3 duplex pairs.
+	if got, want := g.NumLinks(), 6; got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+	// One-way delay is half the RTT; the unmeasured fra→lon direction
+	// borrows lon→fra.
+	var fwd, borrowed Link
+	for _, l := range g.Links() {
+		if l.From == "lon" && l.To == "fra" {
+			fwd = l
+		}
+		if l.From == "fra" && l.To == "lon" {
+			borrowed = l
+		}
+	}
+	if math.Abs(fwd.Delay-0.0063) > 1e-12 {
+		t.Fatalf("lon→fra delay = %v, want 0.0063", fwd.Delay)
+	}
+	if borrowed.Delay != fwd.Delay {
+		t.Fatalf("fra→lon delay = %v, want borrowed %v", borrowed.Delay, fwd.Delay)
+	}
+	// Mesh routes prefer the direct link; relaying nyc→fra via lon would
+	// be (70.2+12.6)/2 ms vs the direct 81/2 ms.
+	r := NewRouter(g)
+	if got := strings.Join(r.PathLinks("nyc", "fra"), ","); got != "m0-2" {
+		t.Fatalf("nyc→fra path = %s, want direct m0-2", got)
+	}
+}
+
+func FuzzParseDelayMatrix(f *testing.F) {
+	f.Add([]byte(sampleMatrix))
+	f.Add([]byte("a b\n0 1.5\n1.5 0\n"))
+	f.Add([]byte("a b c\n0 - 2\n- 0 3\n2 3 0\n"))
+	f.Add([]byte("# only comments\n"))
+	f.Add([]byte("a b\n0 1e309\n1 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseDelayMatrix(data)
+		if err != nil {
+			return
+		}
+		// A successful parse must be internally consistent and safe to
+		// convert: n names, n×n grid, zero diagonal, finite non-negative
+		// or -1 entries, and MeshGraph must not panic.
+		n := len(m.Names)
+		if n < 2 || n > maxMatrixNodes || len(m.RTT) != n {
+			t.Fatalf("inconsistent dims: %d names, %d rows", n, len(m.RTT))
+		}
+		for i, row := range m.RTT {
+			if len(row) != n {
+				t.Fatalf("row %d has %d entries, want %d", i, len(row), n)
+			}
+			if row[i] != 0 {
+				t.Fatalf("diagonal [%d][%d] = %v", i, i, row[i])
+			}
+			for j, v := range row {
+				if v != -1 && (v < 0 || math.IsNaN(v) || math.IsInf(v, 0)) {
+					t.Fatalf("RTT[%d][%d] = %v", i, j, v)
+				}
+			}
+		}
+		g := m.MeshGraph(100, 1<<16)
+		if g.NumNodes() != n {
+			t.Fatalf("mesh has %d nodes, want %d", g.NumNodes(), n)
+		}
+	})
+}
