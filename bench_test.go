@@ -10,6 +10,7 @@
 package pccbench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -302,7 +303,10 @@ func BenchmarkWAN(b *testing.B) {
 
 func BenchmarkTheoryConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep := exp.RunTheory(benchScale, benchSeed)
+		rep, err := exp.RunTheory(context.Background(), benchScale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
 		ok := 0.0
 		for r := range rep.Rows {
 			if rep.Rows[r][6] == "true" {
@@ -315,7 +319,10 @@ func BenchmarkTheoryConvergence(b *testing.B) {
 
 func BenchmarkParkingLot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep := exp.RunParkingLot(benchScale, benchSeed)
+		rep, err := exp.RunParkingLot(context.Background(), benchScale, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
 		// Long-flow share on the 3-hop PCC row: the multi-bottleneck squeeze.
 		if r := findRow(rep, "3"); r >= 0 {
 			b.ReportMetric(cell(rep, r, 2), "pcc_long_3hop_Mbps")

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"slices"
 	"testing"
+	"time"
 
 	"pcc/internal/exp"
 )
@@ -63,6 +64,29 @@ func TestShardsFlag(t *testing.T) {
 	}
 	if got := exp.Workers(); got != 2 {
 		t.Errorf("after -par 2, exp.Workers() = %d, want 2", got)
+	}
+}
+
+// TestTrialTimeoutFlag pins the -trialtimeout → exp.SetTrialTimeout plumbing
+// through the real flag instance, and that resetting the flag restores the
+// default resolution order (PCC_TRIAL_TIMEOUT env, then disabled).
+func TestTrialTimeoutFlag(t *testing.T) {
+	defer func() {
+		exp.SetTrialTimeout(0)
+		if err := flag.Set("trialtimeout", "0"); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := flag.Set("trialtimeout", "750ms"); err != nil {
+		t.Fatal(err)
+	}
+	applyKnobs()
+	if got := exp.TrialTimeout(); got != 750*time.Millisecond {
+		t.Errorf("after -trialtimeout 750ms, exp.TrialTimeout() = %v, want 750ms", got)
+	}
+	exp.SetTrialTimeout(0)
+	if got := exp.TrialTimeout(); got != 0 {
+		t.Errorf("after reset, exp.TrialTimeout() = %v, want 0 (disabled)", got)
 	}
 }
 

@@ -1,5 +1,7 @@
 package exp
 
+import "sync"
+
 // TrialScratch is a per-worker trial arena: a cache of fully built Runners
 // keyed by experiment-variant, so the hundreds of short trials a Monte-Carlo
 // sweep runs (§4's evaluation is sweeps by construction) reuse their
@@ -33,13 +35,38 @@ type TrialScratch struct {
 	// (SeriesMbpsInto, metrics.SortInto) between runner builds.
 	f64 []float64
 
-	// Exp, Variant and Seed are trial provenance a driver stamps at the top
-	// of each trial function. The pool copies them into the TrialPanicError
-	// wrapping any panic that escapes the trial, so a crash deep inside a
-	// Monte-Carlo sweep reports which experiment, variant and seed to replay
-	// instead of an anonymous stack from a worker goroutine.
+	// prov is the trial provenance the running trial stamped via Stamp. It
+	// is mutex-guarded because the pool's watchdog reads it from another
+	// goroutine while the trial runs (see runTrial in pool.go).
+	provMu sync.Mutex
+	prov   TrialProvenance
+}
+
+// TrialProvenance identifies one trial for replay: the experiment and
+// variant the driver stamped plus the per-trial seed.
+type TrialProvenance struct {
 	Exp, Variant string
 	Seed         int64
+}
+
+// Stamp records the running trial's provenance. Drivers call it at the top
+// of each trial function; the pool copies the stamp into the
+// TrialPanicError or TrialTimeoutError produced when that trial panics or
+// hangs, so a crash deep inside a Monte-Carlo sweep reports which
+// experiment, variant and seed to replay instead of an anonymous stack
+// from a worker goroutine.
+func (ts *TrialScratch) Stamp(exp, variant string, seed int64) {
+	ts.provMu.Lock()
+	ts.prov = TrialProvenance{Exp: exp, Variant: variant, Seed: seed}
+	ts.provMu.Unlock()
+}
+
+// Provenance returns the most recently stamped trial provenance.
+func (ts *TrialScratch) Provenance() TrialProvenance {
+	ts.provMu.Lock()
+	p := ts.prov
+	ts.provMu.Unlock()
+	return p
 }
 
 // maxArenaRunners bounds the cached simulations per worker. Real drivers

@@ -79,7 +79,7 @@ func RunLinkFlap(scale float64, seed int64) *Report {
 // n1–n2 onto one shard; the end nodes still shard off across the
 // heterogeneous per-hop delays.
 func linkFlapTrial(ts *TrialScratch, proto string, dur float64, seed int64, shards int) (*Runner, *Flow) {
-	ts.Exp, ts.Variant, ts.Seed = "linkflap", proto, seed
+	ts.Stamp("linkflap", proto, seed)
 	const (
 		nHops    = 3
 		rateMbps = 100

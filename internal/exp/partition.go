@@ -79,7 +79,7 @@ func RunPartition(scale float64, seed int64) *Report {
 // pinned together by the fault, so the topology still splits into four
 // shards.
 func partitionTrial(ts *TrialScratch, proto string, dur, cutAt, healAt float64, seed int64, shards int) (*Runner, *Flow, []*Flow) {
-	ts.Exp, ts.Variant, ts.Seed = "partition", proto, seed
+	ts.Stamp("partition", proto, seed)
 	const (
 		nHops    = 4
 		rateMbps = 100

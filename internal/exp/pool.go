@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the parallel experiment engine. Every trial of every driver
@@ -196,6 +198,40 @@ func exitGCRelax() {
 	gcRelax.mu.Unlock()
 }
 
+// trialTimeoutOverride holds the SetTrialTimeout value in nanoseconds;
+// 0 means "not set".
+var trialTimeoutOverride atomic.Int64
+
+// SetTrialTimeout overrides the per-trial watchdog deadline (cmd/pccbench's
+// -trialtimeout flag, pccserve's -trialtimeout). d <= 0 restores automatic
+// resolution (PCC_TRIAL_TIMEOUT, then disabled). When a deadline is active,
+// every trial runs under a watchdog that converts a hang into a typed
+// *TrialTimeoutError instead of wedging the sweep forever (see runTrial).
+func SetTrialTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	trialTimeoutOverride.Store(int64(d))
+}
+
+// TrialTimeout returns the active per-trial watchdog deadline; 0 means the
+// watchdog is disabled. PCC_TRIAL_TIMEOUT accepts a Go duration ("30s",
+// "2m") or a bare integer number of seconds.
+func TrialTimeout() time.Duration {
+	if n := trialTimeoutOverride.Load(); n > 0 {
+		return time.Duration(n)
+	}
+	if s := os.Getenv("PCC_TRIAL_TIMEOUT"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			return d
+		}
+		if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return 0
+}
+
 // TrialPanicError wraps a panic that escaped a trial function, carrying
 // enough provenance to replay the failing trial in isolation: the experiment
 // and variant the driver stamped on its TrialScratch, the per-trial seed,
@@ -209,6 +245,10 @@ type TrialPanicError struct {
 	Trial      int
 	Worker     int
 	Value      any
+	// Stack is the panicking goroutine's stack, captured by debug.Stack at
+	// recover() time, so a panic quarantined far from any terminal (e.g. in
+	// pccserve's error ledger) stays debuggable after the goroutine is gone.
+	Stack []byte
 }
 
 func (e *TrialPanicError) Error() string {
@@ -232,6 +272,53 @@ func (e *TrialPanicError) Unwrap() error {
 	return nil
 }
 
+// TrialTimeoutError reports a trial that exceeded the per-trial watchdog
+// deadline (SetTrialTimeout / PCC_TRIAL_TIMEOUT / pccbench -trialtimeout).
+// It carries the same provenance fields as TrialPanicError, so a hang is as
+// replayable as a crash. Go cannot kill the hung goroutine: it is abandoned
+// together with its trial arena and the sweep aborts, which fails the sweep
+// without corrupting the worker pool or any later sweep's state.
+type TrialTimeoutError struct {
+	Experiment string
+	Variant    string
+	Seed       int64
+	Trial      int
+	Worker     int
+	Timeout    time.Duration
+}
+
+func (e *TrialTimeoutError) Error() string {
+	exp := e.Experiment
+	if exp == "" {
+		exp = "?"
+	}
+	variant := e.Variant
+	if variant == "" {
+		variant = "?"
+	}
+	return fmt.Sprintf("exp: trial %d timed out after %v (experiment %s, variant %s, seed %d, worker %d)",
+		e.Trial, e.Timeout, exp, variant, e.Seed, e.Worker)
+}
+
+// SweepCancelledError reports a sweep that stopped scheduling at a trial
+// boundary because its context was cancelled (client disconnect, server
+// deadline, SIGTERM drain). In-flight trials finish before the sweep
+// returns, so the Completed slots of the caller's result slice hold valid
+// partial results; the remaining slots were never started. Err is the
+// context's cause and is exposed through Unwrap, so
+// errors.Is(err, context.Canceled) works.
+type SweepCancelledError struct {
+	Completed int
+	Total     int
+	Err       error
+}
+
+func (e *SweepCancelledError) Error() string {
+	return fmt.Sprintf("exp: sweep cancelled after %d/%d trials: %v", e.Completed, e.Total, e.Err)
+}
+
+func (e *SweepCancelledError) Unwrap() error { return e.Err }
+
 // runTrialGuarded runs one trial and converts any escaping panic into a
 // *TrialPanicError stamped with the scratch's provenance fields, re-raised
 // as a panic so both the sequential path and the worker-pool recovery see
@@ -243,20 +330,87 @@ func runTrialGuarded(fn func(trial int, ts *TrialScratch), trial, worker int, ts
 		if r == nil {
 			return
 		}
-		if _, ok := r.(*TrialPanicError); ok {
+		switch r.(type) {
+		case *TrialPanicError, *TrialTimeoutError:
 			panic(r)
 		}
+		prov := ts.Provenance()
 		panic(&TrialPanicError{
-			Experiment: ts.Exp,
-			Variant:    ts.Variant,
-			Seed:       ts.Seed,
+			Experiment: prov.Exp,
+			Variant:    prov.Variant,
+			Seed:       prov.Seed,
 			Trial:      trial,
 			Worker:     worker,
 			Value:      r,
+			Stack:      debug.Stack(),
 		})
 	}()
 	fn(trial, ts)
 }
+
+// catchTrialPanic runs one guarded trial and converts the typed panic the
+// guard raises into a returned error, so the pool can abort a sweep with an
+// error instead of unwinding worker goroutines.
+func catchTrialPanic(fn func(trial int, ts *TrialScratch), trial, worker int, ts *TrialScratch) (err error) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case *TrialPanicError:
+			err = r
+		case *TrialTimeoutError:
+			err = r
+		default:
+			panic(r) // unreachable: runTrialGuarded types every panic
+		}
+	}()
+	runTrialGuarded(fn, trial, worker, ts)
+	return nil
+}
+
+// runTrial executes one guarded trial and returns its failure as a typed
+// error: *TrialPanicError if the trial panicked, *TrialTimeoutError if the
+// watchdog deadline (timeout > 0) elapsed first, nil on success. When the
+// watchdog is armed the trial runs on its own goroutine so the deadline can
+// fire while it is stuck; scratchLost reports that this goroutine was
+// abandoned still owning ts (the timeout path), in which case the caller
+// must neither reuse nor recycle that arena.
+func runTrial(fn func(trial int, ts *TrialScratch), trial, worker int, ts *TrialScratch, timeout time.Duration) (trialErr error, scratchLost bool) {
+	if timeout <= 0 {
+		return catchTrialPanic(fn, trial, worker, ts), false
+	}
+	done := make(chan error, 1) // buffered: a post-deadline finish must not leak the goroutine
+	go func() { done <- catchTrialPanic(fn, trial, worker, ts) }()
+	watchdog := time.NewTimer(timeout)
+	defer watchdog.Stop()
+	select {
+	case err := <-done:
+		return err, false
+	case <-watchdog.C:
+		prov := ts.Provenance()
+		return &TrialTimeoutError{
+			Experiment: prov.Exp,
+			Variant:    prov.Variant,
+			Seed:       prov.Seed,
+			Trial:      trial,
+			Worker:     worker,
+			Timeout:    timeout,
+		}, true
+	}
+}
+
+// scratchPool recycles TrialScratch arenas across sweeps, process-wide.
+// A long-lived process that runs sweep after sweep (pccserve, pccbench
+// -exp all) re-acquires warm arenas whose cached runners were built by
+// earlier sweeps, so repeated requests skip the first-trial build cost.
+// Reuse is placement-policy only — arena hits verify structure and re-spec
+// every parameter (see arena.go) — and a scratch is recycled only after a
+// fully clean sweep slice: a panicked trial may leave a cached runner
+// mid-build and a timed-out trial's goroutine still owns its arena, so
+// those scratches are dropped for the GC instead.
+var scratchPool = sync.Pool{New: func() any { return new(TrialScratch) }}
+
+func acquireScratch() *TrialScratch   { return scratchPool.Get().(*TrialScratch) }
+func releaseScratch(ts *TrialScratch) { scratchPool.Put(ts) }
 
 // RunTrials runs fn(trial) for every trial in [0, n) across the default
 // number of workers. fn must be self-contained: it builds its own Runner
@@ -265,13 +419,28 @@ func runTrialGuarded(fn func(trial int, ts *TrialScratch), trial, worker int, ts
 // index. Calls may execute on different goroutines in any order; RunTrials
 // returns after all complete. A panic in any trial is wrapped in a
 // *TrialPanicError and re-raised on the caller's goroutine, matching
-// sequential behaviour.
+// sequential behaviour; a watchdog timeout is re-raised as a
+// *TrialTimeoutError the same way.
 func RunTrials(n int, fn func(trial int)) { RunTrialsWith(Workers(), n, fn) }
 
 // RunTrialsWith is RunTrials with an explicit worker count (1 = sequential,
 // in trial order, on the calling goroutine).
 func RunTrialsWith(workers, n int, fn func(trial int)) {
 	RunTrialsScratchWith(workers, n, func(i int, _ *TrialScratch) { fn(i) })
+}
+
+// RunTrialsCtx is RunTrials with cancellation: the sweep stops scheduling
+// at the next trial boundary once ctx is cancelled (in-flight trials
+// finish) and returns a *SweepCancelledError recording how many trials
+// completed. Trial panics and watchdog timeouts are returned as typed
+// errors instead of re-raised.
+func RunTrialsCtx(ctx context.Context, n int, fn func(trial int)) error {
+	return RunTrialsCtxWith(ctx, Workers(), n, fn)
+}
+
+// RunTrialsCtxWith is RunTrialsCtx with an explicit worker count.
+func RunTrialsCtxWith(ctx context.Context, workers, n int, fn func(trial int)) error {
+	return RunTrialsScratchCtxWith(ctx, workers, n, func(i int, _ *TrialScratch) { fn(i) })
 }
 
 // RunTrialsScratch is RunTrials for trial functions that build their
@@ -288,60 +457,123 @@ func RunTrialsScratch(n int, fn func(trial int, ts *TrialScratch)) {
 // (1 = sequential, in trial order, on the calling goroutine, with a single
 // scratch serving every trial).
 func RunTrialsScratchWith(workers, n int, fn func(trial int, ts *TrialScratch)) {
+	if err := RunTrialsScratchCtxWith(context.Background(), workers, n, fn); err != nil {
+		// Background never cancels, so err is a typed trial failure; re-raise
+		// it to preserve the legacy panic contract of the non-ctx API.
+		panic(err)
+	}
+}
+
+// RunTrialsScratchCtx is RunTrialsScratch with cancellation (see
+// RunTrialsCtx).
+func RunTrialsScratchCtx(ctx context.Context, n int, fn func(trial int, ts *TrialScratch)) error {
+	return RunTrialsScratchCtxWith(ctx, Workers(), n, fn)
+}
+
+// RunTrialsScratchCtxWith is the engine beneath every RunTrials/RunPoints
+// variant. The context is consulted only at trial boundaries — a trial that
+// has started always runs to completion (or to its watchdog deadline) — so
+// cancellation can never tear a simulation down mid-event. It returns nil
+// when all n trials completed, a *SweepCancelledError when ctx stopped the
+// sweep first, or the typed *TrialPanicError/*TrialTimeoutError of the
+// first failing trial (which also aborts the sweep).
+func RunTrialsScratchCtxWith(ctx context.Context, workers, n int, fn func(trial int, ts *TrialScratch)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	done := ctx.Done()
+	cancelled := func(completed int) error {
+		err := context.Cause(ctx)
+		if err == nil {
+			err = ctx.Err()
+		}
+		return &SweepCancelledError{Completed: completed, Total: n, Err: err}
+	}
+	if done != nil && ctx.Err() != nil {
+		return cancelled(0)
 	}
 	enterGCRelax()
 	defer exitGCRelax()
+	timeout := TrialTimeout()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		var ts TrialScratch
+		ts := acquireScratch()
 		for i := 0; i < n; i++ {
-			runTrialGuarded(fn, i, 0, &ts)
+			if done != nil && ctx.Err() != nil {
+				releaseScratch(ts)
+				return cancelled(i)
+			}
+			if err, _ := runTrial(fn, i, 0, ts, timeout); err != nil {
+				// Drop the arena: panicked trials may leave cached runners
+				// mid-build, timed-out trials still own theirs.
+				return err
+			}
 		}
-		return
+		releaseScratch(ts)
+		return nil
 	}
 	var (
-		next     atomic.Int64
-		stop     atomic.Bool
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicked any
+		next      atomic.Int64
+		stop      atomic.Bool
+		completed atomic.Int64
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		firstErr  error
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		w := w
 		go func() {
 			defer wg.Done()
+			ts := acquireScratch()
+			clean := true
 			defer func() {
-				if r := recover(); r != nil {
-					// Abort the sweep: workers stop claiming trials, so the
-					// panic surfaces without first burning through the rest
-					// of the grid.
-					stop.Store(true)
-					panicMu.Lock()
-					if panicked == nil {
-						panicked = r
-					}
-					panicMu.Unlock()
+				if clean {
+					releaseScratch(ts)
 				}
 			}()
-			var ts TrialScratch // one arena per worker, goroutine-local
 			for !stop.Load() {
+				if done != nil {
+					select {
+					case <-done:
+						// Stop claiming trials; peers notice via stop without
+						// each paying a context poll.
+						stop.Store(true)
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				runTrialGuarded(fn, i, w, &ts)
+				if err, _ := runTrial(fn, i, w, ts, timeout); err != nil {
+					// Abort the sweep: workers stop claiming trials, so the
+					// failure surfaces without first burning through the rest
+					// of the grid. The arena is dropped, not recycled.
+					clean = false
+					stop.Store(true)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				completed.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
+	if firstErr != nil {
+		return firstErr
 	}
+	if c := int(completed.Load()); c < n {
+		return cancelled(c)
+	}
+	return nil
 }
 
 // RunPoints runs fn over [0, n) in parallel and returns the results in
@@ -360,6 +592,20 @@ func RunPointsWith[T any](workers, n int, fn func(point int) T) []T {
 	return out
 }
 
+// RunPointsCtx is RunPoints with cancellation. On a non-nil error the
+// returned slice still holds every completed point (the partial results a
+// serving layer can stream); unstarted slots are zero values.
+func RunPointsCtx[T any](ctx context.Context, n int, fn func(point int) T) ([]T, error) {
+	return RunPointsCtxWith[T](ctx, Workers(), n, fn)
+}
+
+// RunPointsCtxWith is RunPointsCtx with an explicit worker count.
+func RunPointsCtxWith[T any](ctx context.Context, workers, n int, fn func(point int) T) ([]T, error) {
+	out := make([]T, n)
+	err := RunTrialsCtxWith(ctx, workers, n, func(i int) { out[i] = fn(i) })
+	return out, err
+}
+
 // RunPointsScratch is RunPoints for point functions that build their
 // runners through a per-worker TrialScratch arena (see RunTrialsScratch).
 func RunPointsScratch[T any](n int, fn func(point int, ts *TrialScratch) T) []T {
@@ -371,6 +617,20 @@ func RunPointsScratchWith[T any](workers, n int, fn func(point int, ts *TrialScr
 	out := make([]T, n)
 	RunTrialsScratchWith(workers, n, func(i int, ts *TrialScratch) { out[i] = fn(i, ts) })
 	return out
+}
+
+// RunPointsScratchCtx is RunPointsScratch with cancellation (see
+// RunPointsCtx for the partial-result contract).
+func RunPointsScratchCtx[T any](ctx context.Context, n int, fn func(point int, ts *TrialScratch) T) ([]T, error) {
+	return RunPointsScratchCtxWith[T](ctx, Workers(), n, fn)
+}
+
+// RunPointsScratchCtxWith is RunPointsScratchCtx with an explicit worker
+// count.
+func RunPointsScratchCtxWith[T any](ctx context.Context, workers, n int, fn func(point int, ts *TrialScratch) T) ([]T, error) {
+	out := make([]T, n)
+	err := RunTrialsScratchCtxWith(ctx, workers, n, func(i int, ts *TrialScratch) { out[i] = fn(i, ts) })
+	return out, err
 }
 
 // RunTrialsScratchOrdered is RunTrialsScratch with an explicit execution
@@ -387,12 +647,24 @@ func RunTrialsScratchOrdered(order []int, fn func(trial int, ts *TrialScratch)) 
 	RunTrialsScratchWith(Workers(), len(order), func(k int, ts *TrialScratch) { fn(order[k], ts) })
 }
 
+// RunTrialsScratchOrderedCtx is RunTrialsScratchOrdered with cancellation.
+func RunTrialsScratchOrderedCtx(ctx context.Context, order []int, fn func(trial int, ts *TrialScratch)) error {
+	return RunTrialsScratchCtxWith(ctx, Workers(), len(order), func(k int, ts *TrialScratch) { fn(order[k], ts) })
+}
+
 // RunPointsScratchOrdered is RunPointsScratch with an explicit execution
 // order (see RunTrialsScratchOrdered); out[i] still holds fn(i).
 func RunPointsScratchOrdered[T any](order []int, fn func(point int, ts *TrialScratch) T) []T {
 	out := make([]T, len(order))
 	RunTrialsScratchOrdered(order, func(i int, ts *TrialScratch) { out[i] = fn(i, ts) })
 	return out
+}
+
+// RunPointsScratchOrderedCtx is RunPointsScratchOrdered with cancellation.
+func RunPointsScratchOrderedCtx[T any](ctx context.Context, order []int, fn func(point int, ts *TrialScratch) T) ([]T, error) {
+	out := make([]T, len(order))
+	err := RunTrialsScratchOrderedCtx(ctx, order, func(i int, ts *TrialScratch) { out[i] = fn(i, ts) })
+	return out, err
 }
 
 // descendingBy returns a permutation of [0, n) that is stable-sorted by

@@ -34,7 +34,7 @@ func TestTrialPanicWrappedSequential(t *testing.T) {
 	boom := errors.New("queue invariant violated")
 	tpe := recoverTrialPanic(t, func() {
 		RunTrialsScratchWith(1, 5, func(i int, ts *TrialScratch) {
-			ts.Exp, ts.Variant, ts.Seed = "linkflap", "pcc", TrialSeed(42, i)
+			ts.Stamp("linkflap", "pcc", TrialSeed(42, i))
 			ran++
 			if i == 2 {
 				panic(boom)
@@ -61,7 +61,7 @@ func TestTrialPanicWrappedSequential(t *testing.T) {
 func TestTrialPanicWrappedParallel(t *testing.T) {
 	tpe := recoverTrialPanic(t, func() {
 		RunTrialsScratchWith(4, 64, func(i int, ts *TrialScratch) {
-			ts.Exp, ts.Variant, ts.Seed = "partition", "cubic", TrialSeed(7, i)
+			ts.Stamp("partition", "cubic", TrialSeed(7, i))
 			if i%3 == 1 {
 				panic("non-error payload")
 			}

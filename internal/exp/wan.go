@@ -199,7 +199,7 @@ func (sh *WANShape) NumNodes() int { return sh.graph.NumNodes() }
 // start, run to dur, and return the per-flow whole-run goodputs in flow
 // order.
 func wanTrial(ts *TrialScratch, sh *WANShape, proto string, dur float64, seed int64) (*Runner, []float64) {
-	ts.Exp, ts.Variant, ts.Seed = "wan", proto, seed
+	ts.Stamp("wan", proto, seed)
 	spec := sh.base
 	spec.Seed = seed
 	key := fmt.Sprintf("wan/%d/%d/%s/%d", sh.graph.NumNodes(), len(sh.flows), proto, spec.Shards)

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"pcc/internal/exp"
+)
+
+// job is one sweep unit handed to the scheduler. The result channel is
+// buffered so a worker can always deliver and move on, even if the request
+// that submitted the job has already disconnected — that is what keeps a
+// cancelled stream from leaking worker goroutines.
+type job struct {
+	ctx  context.Context
+	key  Key
+	res  chan unitResult
+	done func() // releases the admission reservation
+}
+
+// unitResult is what a worker hands back for one unit.
+type unitResult struct {
+	rep *exp.Report
+	err error
+}
+
+// Scheduler runs sweep units on a fixed pool of persistent workers behind a
+// bounded admission counter. Admission is reserved per request (all units at
+// once, atomically) before any unit is enqueued, so a burst of requests gets
+// a clean 429 instead of a half-admitted sweep.
+type Scheduler struct {
+	jobs     chan job
+	limit    int64
+	reserved atomic.Int64
+	started  atomic.Int64
+	finished atomic.Int64
+	wg       sync.WaitGroup
+	stop     sync.Once
+}
+
+// NewScheduler starts workers goroutines and admits at most queue units at a
+// time (queued plus running, across all requests).
+func NewScheduler(workers, queue int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < workers {
+		queue = workers
+	}
+	s := &Scheduler{
+		// Reservation precedes every send, so the channel never needs to
+		// hold more than the admission limit: sends cannot block.
+		jobs:  make(chan job, queue),
+		limit: int64(queue),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Reserve atomically claims n admission slots. It never blocks: a full
+// scheduler returns false and the server answers 429.
+func (s *Scheduler) Reserve(n int) bool {
+	if int64(n) > s.limit {
+		return false
+	}
+	for {
+		cur := s.reserved.Load()
+		if cur+int64(n) > s.limit {
+			return false
+		}
+		if s.reserved.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+// Release returns n admission slots. Requests release slots for units they
+// never submitted (cache hits, early abort); workers release the rest as
+// units finish.
+func (s *Scheduler) Release(n int) { s.reserved.Add(int64(-n)) }
+
+// Submit enqueues one reserved unit and returns its result channel.
+func (s *Scheduler) Submit(ctx context.Context, k Key) <-chan unitResult {
+	res := make(chan unitResult, 1)
+	s.jobs <- job{ctx: ctx, key: k, res: res, done: func() { s.Release(1) }}
+	return res
+}
+
+// worker runs jobs until Close. A job whose request has already gone away is
+// skipped without running the experiment.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		if err := j.ctx.Err(); err != nil {
+			cause := context.Cause(j.ctx)
+			if cause == nil {
+				cause = err
+			}
+			j.res <- unitResult{err: &exp.SweepCancelledError{Completed: 0, Total: 1, Err: cause}}
+			j.done()
+			continue
+		}
+		s.started.Add(1)
+		rep, err := exp.RunCtx(j.ctx, j.key.Experiment, j.key.Scale, j.key.Seed)
+		s.finished.Add(1)
+		j.res <- unitResult{rep: rep, err: err}
+		j.done()
+	}
+}
+
+// Close stops the workers after the queue drains. Callers must stop
+// submitting first (the server's drain flag guarantees that).
+func (s *Scheduler) Close() {
+	s.stop.Do(func() { close(s.jobs) })
+	s.wg.Wait()
+}
+
+// SchedStats is the scheduler section of /v1/stats.
+type SchedStats struct {
+	Capacity int64 `json:"capacity"`
+	Reserved int64 `json:"reserved"`
+	Started  int64 `json:"started"`
+	Finished int64 `json:"finished"`
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Capacity: s.limit,
+		Reserved: s.reserved.Load(),
+		Started:  s.started.Load(),
+		Finished: s.finished.Load(),
+	}
+}

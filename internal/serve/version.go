@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	versionOnce sync.Once
+	versionStr  string
+)
+
+// BuildVersion identifies the code that computed a cached result: the VCS
+// revision baked into the binary (suffixed "+dirty" for modified trees), or
+// "dev" for builds without VCS stamping (go test, go run). It participates
+// in every cache key so results computed by different code never alias.
+func BuildVersion() string {
+	versionOnce.Do(func() {
+		versionStr = "dev"
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev, dirty string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			versionStr = rev + dirty
+		}
+	})
+	return versionStr
+}

@@ -74,8 +74,22 @@ RAW="${OUT%.json}.txt"
 BENCHTIME="${BENCHTIME:-1x}"
 COUNT="${COUNT:-1}"
 
+# Propagate the bench run's own exit code and never snapshot a failed or
+# empty run: a crashed benchmark must fail CI with its real status, not
+# leave a partial BENCH_<n>.json that looks like a perf data point.
+status=0
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
-    . ./internal/sim ./internal/netem | tee "$RAW"
+    . ./internal/sim ./internal/netem | tee "$RAW" || status=$?
+if [ "$status" -ne 0 ]; then
+    rm -f "$RAW"
+    echo "bench.sh: benchmark run failed (exit $status); no snapshot written" >&2
+    exit "$status"
+fi
+if ! grep -q '^Benchmark' "$RAW"; then
+    rm -f "$RAW"
+    echo "bench.sh: benchmark run produced no results; no snapshot written" >&2
+    exit 1
+fi
 
 awk -v benchtime="$BENCHTIME" -v out="$OUT" '
 BEGIN { n = 0 }
